@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces paper Fig. 9: (a) off-chip data movement breakdown by
+ * category (key-switch hints compulsory/non-compulsory, inputs,
+ * intermediate loads/stores) and (b) average power breakdown (HBM,
+ * scratchpad, NoC, register files, FUs) for each benchmark.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace f1;
+using namespace f1::bench;
+
+int
+main()
+{
+    F1Config cfg;
+    printf("=== Fig. 9a: off-chip data movement breakdown ===\n");
+    printf("%-22s %9s | %7s %7s %7s %7s %7s %7s\n", "Benchmark",
+           "total", "KSH-C", "KSH-NC", "In-C", "In-NC", "Int-Ld",
+           "Int-St");
+    hr();
+
+    auto suite = makeTable3Suite(/*cifar_scale=*/0.1);
+    std::vector<CompileResult> results;
+    for (auto &w : suite) {
+        auto res = simulate(w, cfg);
+        const auto &t = res.schedule.traffic;
+        double total = (double)t.total();
+        auto pct = [&](uint64_t x) { return 100.0 * x / total; };
+        printf("%-22s %7.2fGB | %6.1f%% %6.1f%% %6.1f%% %6.1f%% "
+               "%6.1f%% %6.1f%%\n",
+               w.program.name().c_str(), total / 1e9,
+               pct(t.kshCompulsory), pct(t.kshNonCompulsory),
+               pct(t.inputCompulsory), pct(t.inputNonCompulsory),
+               pct(t.intermLoad), pct(t.intermStore));
+        results.push_back(std::move(res));
+    }
+
+    printf("\n=== Fig. 9b: average power breakdown [W] ===\n");
+    printf("%-22s %8s | %7s %8s %7s %7s %7s\n", "Benchmark", "total",
+           "HBM", "Scratch", "NoC", "RF", "FUs");
+    hr();
+    for (size_t i = 0; i < suite.size(); ++i) {
+        auto p = results[i].schedule.averagePower(cfg);
+        printf("%-22s %7.1fW | %7.1f %8.1f %7.1f %7.1f %7.1f\n",
+               suite[i].program.name().c_str(), p.total, p.hbm,
+               p.scratch, p.noc, p.regFiles, p.fus);
+    }
+    printf("\nPaper shape: KSH dominates traffic in deep workloads "
+           "(up to 94%%);\nnon-compulsory traffic adds only 5-18%% "
+           "except CIFAR; power dominated by data movement.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces paper Table 1: area, power, and delay of the four modular
+ * multiplier designs (Barrett, Montgomery, NTT-friendly, FHE-friendly),
+ * plus a software-throughput measurement of the same algorithms
+ * (google-benchmark) and the count of usable FHE-friendly primes.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "modular/multiplier.h"
+#include "modular/primes.h"
+
+using namespace f1;
+
+namespace {
+
+void
+printModelTable()
+{
+    printf("\n=== Table 1: modular multipliers "
+           "(model calibrated to 14/12nm synthesis) ===\n");
+    printf("%-14s %12s %12s %12s\n", "Multiplier", "Area [um^2]",
+           "Power [mW]", "Delay [ps]");
+    const uint32_t q = generateNttPrimes(1, 28, 16384)[0];
+    for (const auto &m : makeAllMultipliers(q)) {
+        auto c = m->cost();
+        printf("%-14s %12.0f %12.2f %12.0f\n", m->name(), c.areaUm2,
+               c.powerMw, c.delayPs);
+    }
+    printf("\nFHE-friendly restriction (q ≡ 1 mod 2^16): %zu usable "
+           "24-bit primes\n(paper: ~6,186 32-bit primes; density "
+           "scales with range size)\n",
+           countFheFriendlyPrimes(24));
+}
+
+template <typename M>
+void
+bmMul(benchmark::State &state)
+{
+    const uint32_t q = generateNttPrimes(1, 28, 16384)[0];
+    M m(q);
+    uint32_t a = 123456789 % q, b = 987654321 % q;
+    for (auto _ : state) {
+        a = m.mul(a, b);
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(bmMul<BarrettMultiplier>)->Name("sw/Barrett");
+BENCHMARK(bmMul<MontgomeryMultiplier>)->Name("sw/Montgomery");
+BENCHMARK(bmMul<NttFriendlyMultiplier>)->Name("sw/NTT-friendly");
+BENCHMARK(bmMul<FheFriendlyMultiplier>)->Name("sw/FHE-friendly");
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printModelTable();
+    printf("\n=== Software throughput of the same algorithms ===\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces paper Table 2: area and TDP of F1 and its breakdown by
+ * component, evaluated from the calibrated area/power model at the
+ * paper's configuration (16 clusters, 64 MB scratchpad, 3 crossbars,
+ * 2 HBM2 PHYs).
+ */
+#include <cstdio>
+
+#include "arch/area_power.h"
+
+using namespace f1;
+
+int
+main()
+{
+    F1Config cfg; // paper defaults
+    AreaModel model(cfg);
+    auto a = model.area();
+    auto t = model.tdp();
+
+    printf("=== Table 2: F1 area and TDP breakdown ===\n");
+    printf("%-44s %12s %10s\n", "Component", "Area [mm^2]", "TDP [W]");
+    printf("%-44s %12.2f %10.2f\n", "NTT FU", a.nttFu, t.nttFu);
+    printf("%-44s %12.2f %10.2f\n", "Automorphism FU", a.autFu,
+           t.autFu);
+    printf("%-44s %12.2f %10.2f\n", "Multiply FU", a.mulFu, t.mulFu);
+    printf("%-44s %12.2f %10.2f\n", "Add FU", a.addFu, t.addFu);
+    printf("%-44s %12.2f %10.2f\n", "Vector RegFile (512 KB)",
+           a.regFile, t.regFile);
+    printf("%-44s %12.2f %10.2f\n",
+           "Compute cluster (NTT, Aut, 2xMul, 2xAdd, RF)", a.cluster,
+           t.cluster);
+    printf("%-44s %12.2f %10.2f\n", "Total compute (16 clusters)",
+           a.totalCompute, t.totalCompute);
+    printf("%-44s %12.2f %10.2f\n", "Scratchpad (16 x 4 MB banks)",
+           a.scratchpad, t.scratchpad);
+    printf("%-44s %12.2f %10.2f\n", "3x NoC (16x16 512 B bit-sliced)",
+           a.noc, t.noc);
+    printf("%-44s %12.2f %10.2f\n", "Memory interface (2x HBM2 PHY)",
+           a.hbmPhys, t.hbmPhys);
+    printf("%-44s %12.2f %10.2f\n", "Total memory system",
+           a.totalMemory, t.totalMemory);
+    printf("%-44s %12.2f %10.2f\n", "Total F1", a.total, t.total);
+    printf("\nPaper reference: cluster 3.97 / 8.75, compute 63.52 / "
+           "140.0,\nscratchpad 48.09 / 20.35, NoC 10.02 / 19.65, "
+           "PHYs 29.80 / 0.45, total 151.4 / 180.4\n");
+    return 0;
+}

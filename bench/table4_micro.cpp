@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Reproduces paper Table 4: microbenchmarks (NTT, automorphism,
+ * homomorphic multiply, homomorphic permutation) at the three
+ * parameter sets (N=2^12/logQ=109, 2^13/218, 2^14/438).
+ *
+ * Columns: F1 reciprocal throughput (ns/ciphertext-op from the timing
+ * model at full chip utilization), measured CPU time (this library's
+ * software layer on this host), and the HEAX-sigma model.
+ */
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "arch/config.h"
+#include "arch/heax_model.h"
+#include "fhe/bgv.h"
+#include "modular/primes.h"
+
+using namespace f1;
+
+namespace {
+
+struct ParamSet
+{
+    uint32_t n;
+    uint32_t logQ;
+    uint32_t level; //!< logQ / 28-bit primes, as the paper's 32-bit words
+};
+
+double
+measureNs(const std::function<void()> &fn, int iters)
+{
+    // Warm up once, then time.
+    fn();
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           iters;
+}
+
+/** F1 reciprocal throughput for a full-ciphertext op (2L RVecs spread
+ *  over all units of the relevant FU type). */
+double
+f1ReciprocalNs(const F1Config &cfg, FuType fu, uint32_t n,
+               uint32_t rvecs)
+{
+    double per_rvec = cfg.occupancy(fu, n);
+    double units = (double)cfg.clusters * cfg.fuCount(fu);
+    return rvecs * per_rvec / units / cfg.freqGHz;
+}
+
+/** F1 reciprocal throughput of a homomorphic mul/perm: dominated by
+ *  the key-switch NTTs plus multiplier/adder work, pipelined across
+ *  the whole chip. */
+double
+f1HomomorphicNs(const F1Config &cfg, uint32_t n, uint32_t level,
+                bool perm)
+{
+    double ntt_rvecs = (double)level * (level + 2) + 2; // lifts + div
+    double mul_rvecs = 2.0 * level * (level + 1) + 2 * level +
+                       (perm ? 0 : 4.0 * level);
+    double add_rvecs = 2.0 * level * (level + 1) + 2 * level;
+    double aut_rvecs = perm ? 2.0 * level : 0;
+    double ntt = f1ReciprocalNs(cfg, FuType::kNtt, n, ntt_rvecs);
+    double mul = f1ReciprocalNs(cfg, FuType::kMul, n, mul_rvecs);
+    double add = f1ReciprocalNs(cfg, FuType::kAdd, n, add_rvecs);
+    double aut = f1ReciprocalNs(cfg, FuType::kAut, n, aut_rvecs);
+    // Throughput-limited by the busiest FU class.
+    return std::max(std::max(ntt, mul), std::max(add, aut));
+}
+
+} // namespace
+
+int
+main()
+{
+    const ParamSet sets[] = {{4096, 109, 4}, {8192, 218, 8},
+                             {16384, 438, 16}};
+    F1Config cfg;
+    HeaxModel heax;
+
+    printf("=== Table 4: microbenchmarks (ns / ciphertext op) ===\n");
+    printf("%-10s %-8s | %10s %12s %10s | %10s %10s\n", "op", "N",
+           "F1 [ns]", "CPU [ns]", "HEAX_s[ns]", "vs CPU", "vs HEAX_s");
+
+    for (const auto &ps : sets) {
+        FheParams params;
+        params.n = ps.n;
+        params.maxLevel = ps.level;
+        params.primeBits = 28;
+        FheContext ctx(params);
+        BgvScheme scheme(&ctx);
+        Rng rng(1);
+
+        // CPU measurements on full ciphertexts (2L residue polys).
+        auto poly = RnsPoly::uniform(ctx.polyContext(), ps.level, rng,
+                                     Domain::kCoeff);
+        double cpu_ntt = measureNs(
+            [&] {
+                auto p = poly;
+                p.toNtt();
+            },
+            5) * 2; // two polynomials per ciphertext
+        auto ct = scheme.encryptSlots(
+            rng.uniformVector(ps.n, 65537), ps.level);
+        double cpu_aut = measureNs(
+            [&] {
+                auto r = ct.polys[0].automorphism(5);
+                (void)r;
+            },
+            5) * 2;
+        scheme.relinHint(ps.level); // exclude keygen from timing
+        scheme.galoisHint(scheme.encoder().slotOrder().rotationGalois(1),
+                          ps.level);
+        double cpu_mul = measureNs([&] { auto r = scheme.mul(ct, ct);
+                                         (void)r; }, 3);
+        double cpu_perm = measureNs([&] { auto r = scheme.rotate(ct, 1);
+                                          (void)r; }, 3);
+
+        struct Row
+        {
+            const char *name;
+            double f1, cpu, heax;
+        } rows[] = {
+            {"NTT",
+             f1ReciprocalNs(cfg, FuType::kNtt, ps.n, 2 * ps.level),
+             cpu_ntt, heax.ciphertextNttNs(ps.n, ps.level)},
+            {"Automorph",
+             f1ReciprocalNs(cfg, FuType::kAut, ps.n, 2 * ps.level),
+             cpu_aut, heax.ciphertextAutNs(ps.n, ps.level)},
+            {"HomMul", f1HomomorphicNs(cfg, ps.n, ps.level, false),
+             cpu_mul, heax.homomorphicMulNs(ps.n, ps.level)},
+            {"HomPerm", f1HomomorphicNs(cfg, ps.n, ps.level, true),
+             cpu_perm, heax.homomorphicPermNs(ps.n, ps.level)},
+        };
+        for (const auto &r : rows) {
+            printf("%-10s %-8u | %10.1f %12.0f %10.0f | %9.0fx "
+                   "%9.0fx\n",
+                   r.name, ps.n, r.f1, r.cpu, r.heax, r.cpu / r.f1,
+                   r.heax / r.f1);
+        }
+    }
+    printf("\nPaper reference (N=2^14): NTT 179.2 ns (8,838x CPU, "
+           "1,866x HEAX_s);\nHomMul 2,000 ns (14,396x CPU, 190x "
+           "HEAX_s). Shape target: F1 >> HEAX_s >> CPU.\n");
+    return 0;
+}

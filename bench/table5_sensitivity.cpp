@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces paper Table 5: slowdowns of F1 variants — low-throughput
+ * NTT FUs, low-throughput automorphism FUs (same aggregate throughput,
+ * HEAX-style), and the CSR (register-pressure-aware) scheduler — over
+ * the Table 3 suite. Compile/simulate only (no CPU runs).
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace f1;
+using namespace f1::bench;
+
+int
+main()
+{
+    printf("=== Table 5: slowdown of F1 variants (higher is worse) "
+           "===\n");
+    printf("%-22s %10s %10s %10s\n", "Benchmark", "LT NTT", "LT Aut",
+           "CSR");
+    hr();
+
+    F1Config base;
+    F1Config lt_ntt = base;
+    lt_ntt.lowThroughputNttDivisor = 16;
+    F1Config lt_aut = base;
+    lt_aut.lowThroughputAutDivisor = 16;
+
+    double gm[3] = {0, 0, 0};
+    int count = 0;
+    auto suite = makeTable3Suite(/*cifar_scale=*/0.1);
+    for (auto &w : suite) {
+        auto ref = simulate(w, base);
+        double base_cycles = (double)ref.schedule.cycles;
+
+        double slow[3];
+        slow[0] = simulate(w, lt_ntt).schedule.cycles / base_cycles;
+        slow[1] = simulate(w, lt_aut).schedule.cycles / base_cycles;
+        CompileOptions csr;
+        csr.memPolicy = MemPolicy::kCsr;
+        slow[2] = simulate(w, base, csr).schedule.cycles / base_cycles;
+
+        printf("%-22s %9.1fx %9.1fx %9.1fx\n",
+               w.program.name().c_str(), slow[0], slow[1], slow[2]);
+        for (int i = 0; i < 3; ++i)
+            gm[i] += std::log(slow[i]);
+        ++count;
+    }
+    hr();
+    printf("%-22s %9.1fx %9.1fx %9.1fx\n", "gmean",
+           std::exp(gm[0] / count), std::exp(gm[1] / count),
+           std::exp(gm[2] / count));
+    printf("\nPaper reference gmeans: LT NTT 2.5x, LT Aut 3.6x, "
+           "CSR 4.2x (CSR intractable for two benchmarks).\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+#include "arch/area_power.h"
+
+#include <algorithm>
+
+namespace f1 {
+
+namespace {
+
+// Table 2 reference points (16 clusters, 64 MB, 3 crossbars, 2 PHYs).
+constexpr double kNttFuArea = 2.27, kNttFuTdp = 4.80;
+constexpr double kAutFuArea = 0.58, kAutFuTdp = 0.99;
+constexpr double kMulFuArea = 0.25, kMulFuTdp = 0.60;
+constexpr double kAddFuArea = 0.03, kAddFuTdp = 0.05;
+constexpr double kRfArea512K = 0.56, kRfTdp512K = 1.67;
+constexpr double kScratchAreaPerMB = 48.09 / 64.0;
+constexpr double kScratchTdpPerMB = 20.35 / 64.0;
+constexpr double kNocArea16x16x3 = 10.02, kNocTdp16x16x3 = 19.65;
+constexpr double kPhyArea = 29.80 / 2.0, kPhyTdp = 0.45 / 2.0;
+
+AreaBreakdown
+breakdown(const F1Config &cfg, bool power)
+{
+    auto pick = [&](double area, double tdp) { return power ? tdp : area; };
+
+    AreaBreakdown b{};
+    b.nttFu = pick(kNttFuArea, kNttFuTdp);
+    b.autFu = pick(kAutFuArea, kAutFuTdp);
+    b.mulFu = pick(kMulFuArea, kMulFuTdp);
+    b.addFu = pick(kAddFuArea, kAddFuTdp);
+    b.regFile = pick(kRfArea512K, kRfTdp512K) * cfg.regFileKB / 512.0;
+
+    // Low-throughput FU variants keep aggregate throughput, so their
+    // datapath area is ~constant; only per-unit control is replicated
+    // (a small adder per extra unit).
+    double ntt_units = b.nttFu * cfg.nttPerCluster +
+        b.addFu * 0.5 * (cfg.lowThroughputNttDivisor - 1);
+    double aut_units = b.autFu * cfg.autPerCluster +
+        b.addFu * 0.5 * (cfg.lowThroughputAutDivisor - 1);
+    b.cluster = ntt_units + aut_units + b.mulFu * cfg.mulPerCluster +
+        b.addFu * cfg.addPerCluster + b.regFile;
+    b.totalCompute = b.cluster * cfg.clusters;
+
+    b.scratchpad =
+        pick(kScratchAreaPerMB, kScratchTdpPerMB) * cfg.scratchBanks *
+        cfg.bankMB;
+    // Crossbar cost grows with port count squared (bit-sliced 16x16 is
+    // the reference); three crossbars as in the paper.
+    double ports = std::max(cfg.scratchBanks, cfg.clusters) / 16.0;
+    b.noc = pick(kNocArea16x16x3, kNocTdp16x16x3) * ports * ports;
+    b.hbmPhys = pick(kPhyArea, kPhyTdp) * cfg.hbmPhys;
+    b.totalMemory = b.scratchpad + b.noc + b.hbmPhys;
+    b.total = b.totalCompute + b.totalMemory;
+    return b;
+}
+
+} // namespace
+
+AreaBreakdown
+AreaModel::area() const
+{
+    return breakdown(cfg_, false);
+}
+
+AreaBreakdown
+AreaModel::tdp() const
+{
+    return breakdown(cfg_, true);
+}
+
+} // namespace f1

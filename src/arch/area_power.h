@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Area and power models calibrated to the paper's RTL synthesis
+ * results (Table 1, Table 2; 14/12 nm). The paper's numbers are fixed
+ * points; these models compose them across configurations for the
+ * design-space exploration of Fig. 11 and the power breakdowns of
+ * Fig. 9b.
+ */
+#ifndef F1_ARCH_AREA_POWER_H
+#define F1_ARCH_AREA_POWER_H
+
+#include "arch/config.h"
+
+namespace f1 {
+
+/** Component areas (mm^2) and TDP (W), Table 2. */
+struct AreaBreakdown
+{
+    double nttFu, autFu, mulFu, addFu, regFile;
+    double cluster;       //!< one compute cluster
+    double totalCompute;  //!< all clusters
+    double scratchpad;
+    double noc;
+    double hbmPhys;
+    double totalMemory;
+    double total;
+};
+
+class AreaModel
+{
+  public:
+    explicit AreaModel(const F1Config &cfg) : cfg_(cfg) {}
+
+    AreaBreakdown area() const;
+    AreaBreakdown tdp() const;
+
+  private:
+    F1Config cfg_;
+};
+
+/**
+ * Energy model: converts activity counts from the simulator into
+ * energy/average power. Per-active-cycle FU energies derive from the
+ * Table 2 TDP at full utilization; memory energies use standard
+ * per-byte costs (HBM2 ~7 pJ/bit).
+ */
+struct EnergyRates
+{
+    // nJ per active FU cycle.
+    double nttCycle = 4.80;
+    double autCycle = 0.99;
+    double mulCycle = 0.60;
+    double addCycle = 0.05;
+    // nJ per byte moved.
+    double regFileByte = 0.00163; // 1.67 W / (2 * 512 B/cycle) / 1 GHz
+    double scratchByte = 0.00124; // 20.35 W / (16 banks * 1 KB/cycle)
+    double nocByte = 0.0008;      // 19.65 W at 24 TB/s
+    double hbmByte = 0.056;       // 7 pJ/bit
+};
+
+} // namespace f1
+
+#endif // F1_ARCH_AREA_POWER_H

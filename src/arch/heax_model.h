@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Performance model of HEAX-sigma, the comparison point of the paper's
+ * Table 4: HEAX (Riazi et al., ASPLOS'20) extended with an SRAM-based
+ * scalar automorphism unit. HEAX is closed FPGA RTL, so this model is
+ * built from its published architecture: fixed-function key-switching
+ * pipelines whose NTT cores process one butterfly column per cycle at
+ * an FPGA clock (~300 MHz), plus the paper's scalar automorphism
+ * extension (one element per cycle per unit).
+ */
+#ifndef F1_ARCH_HEAX_MODEL_H
+#define F1_ARCH_HEAX_MODEL_H
+
+#include <cstdint>
+
+namespace f1 {
+
+struct HeaxConfig
+{
+    double freqGHz = 0.300;  //!< FPGA clock
+    // HEAX's largest configuration instantiates 16 NTT cores, each
+    // retiring 8 butterflies per cycle.
+    uint32_t nttCores = 16;
+    uint32_t butterfliesPerCore = 8;
+    uint32_t autUnits = 16;  //!< scalar automorphism units (HEAX-sigma)
+    uint32_t multLanes = 128; //!< element-wise modular multiplier lanes
+};
+
+class HeaxModel
+{
+  public:
+    explicit HeaxModel(const HeaxConfig &cfg = {}) : cfg_(cfg) {}
+
+    /** ns per residue-polynomial NTT (pipelined reciprocal). */
+    double
+    nttNs(uint32_t n) const
+    {
+        double butterflies = 0.5 * n * log2(n);
+        double per_cycle = cfg_.nttCores * cfg_.butterfliesPerCore;
+        return butterflies / per_cycle / cfg_.freqGHz;
+    }
+
+    /** ns per residue-polynomial automorphism (scalar SRAM walk). */
+    double
+    autNs(uint32_t n) const
+    {
+        return (double)n / cfg_.autUnits / cfg_.freqGHz;
+    }
+
+    /** ns per residue-polynomial element-wise multiply. */
+    double
+    mulNs(uint32_t n) const
+    {
+        return (double)n / cfg_.multLanes / cfg_.freqGHz;
+    }
+
+    /** ns for a full-ciphertext NTT (2 polys x L residues). */
+    double
+    ciphertextNttNs(uint32_t n, uint32_t level) const
+    {
+        return 2.0 * level * nttNs(n);
+    }
+
+    double
+    ciphertextAutNs(uint32_t n, uint32_t level) const
+    {
+        return 2.0 * level * autNs(n);
+    }
+
+    /**
+     * ns for a homomorphic multiplication: tensor (4L multiplies +
+     * L adds folded into the multiply pipeline) plus the key-switching
+     * pipeline (L INTTs, L*L NTTs, 2L^2 multiply-accumulates), the
+     * dominant term.
+     */
+    double
+    homomorphicMulNs(uint32_t n, uint32_t level) const
+    {
+        double tensor = 4.0 * level * mulNs(n);
+        double ks = level * nttNs(n) +
+            (double)level * level * nttNs(n) +
+            2.0 * level * level * mulNs(n);
+        return tensor + ks;
+    }
+
+    /** ns for a homomorphic permutation (automorphism + key switch). */
+    double
+    homomorphicPermNs(uint32_t n, uint32_t level) const
+    {
+        double aut = 2.0 * level * autNs(n);
+        double ks = level * nttNs(n) +
+            (double)level * level * nttNs(n) +
+            2.0 * level * level * mulNs(n);
+        return aut + ks;
+    }
+
+  private:
+    static double
+    log2(uint32_t x)
+    {
+        double r = 0;
+        while (x >>= 1)
+            r += 1;
+        return r;
+    }
+
+    HeaxConfig cfg_;
+};
+
+} // namespace f1
+
+#endif // F1_ARCH_HEAX_MODEL_H

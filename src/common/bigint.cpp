@@ -1,0 +1,206 @@
+#include "common/bigint.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace f1 {
+
+void
+BigInt::trim()
+{
+    while (limbs_.size() > 1 && limbs_.back() == 0)
+        limbs_.pop_back();
+}
+
+int
+BigInt::compare(const BigInt &o) const
+{
+    if (limbs_.size() != o.limbs_.size())
+        return limbs_.size() < o.limbs_.size() ? -1 : 1;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != o.limbs_[i])
+            return limbs_[i] < o.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+BigInt &
+BigInt::operator+=(const BigInt &o)
+{
+    if (o.limbs_.size() > limbs_.size())
+        limbs_.resize(o.limbs_.size(), 0);
+    unsigned __int128 carry = 0;
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        unsigned __int128 s = carry + limbs_[i];
+        if (i < o.limbs_.size())
+            s += o.limbs_[i];
+        limbs_[i] = static_cast<uint64_t>(s);
+        carry = s >> 64;
+    }
+    if (carry)
+        limbs_.push_back(static_cast<uint64_t>(carry));
+    return *this;
+}
+
+BigInt
+BigInt::operator+(const BigInt &o) const
+{
+    BigInt r = *this;
+    r += o;
+    return r;
+}
+
+BigInt &
+BigInt::operator-=(const BigInt &o)
+{
+    F1_CHECK(*this >= o, "BigInt subtraction underflow");
+    unsigned __int128 borrow = 0;
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        unsigned __int128 sub = borrow;
+        if (i < o.limbs_.size())
+            sub += o.limbs_[i];
+        if (limbs_[i] >= sub) {
+            limbs_[i] = static_cast<uint64_t>(limbs_[i] - sub);
+            borrow = 0;
+        } else {
+            limbs_[i] = static_cast<uint64_t>(
+                ((unsigned __int128)1 << 64) + limbs_[i] - sub);
+            borrow = 1;
+        }
+    }
+    trim();
+    return *this;
+}
+
+BigInt
+BigInt::operator-(const BigInt &o) const
+{
+    BigInt r = *this;
+    r -= o;
+    return r;
+}
+
+BigInt &
+BigInt::mulSmall(uint64_t m)
+{
+    unsigned __int128 carry = 0;
+    for (auto &limb : limbs_) {
+        unsigned __int128 p = (unsigned __int128)limb * m + carry;
+        limb = static_cast<uint64_t>(p);
+        carry = p >> 64;
+    }
+    if (carry)
+        limbs_.push_back(static_cast<uint64_t>(carry));
+    trim();
+    return *this;
+}
+
+BigInt
+BigInt::timesSmall(uint64_t m) const
+{
+    BigInt r = *this;
+    r.mulSmall(m);
+    return r;
+}
+
+BigInt &
+BigInt::addSmall(uint64_t a)
+{
+    return *this += BigInt(a);
+}
+
+uint64_t
+BigInt::modSmall(uint64_t m) const
+{
+    F1_REQUIRE(m > 0, "modSmall modulus must be positive");
+    unsigned __int128 rem = 0;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        rem = (rem << 64) | limbs_[i];
+        rem %= m;
+    }
+    return static_cast<uint64_t>(rem);
+}
+
+BigInt
+BigInt::operator*(const BigInt &o) const
+{
+    BigInt r;
+    r.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        unsigned __int128 carry = 0;
+        for (size_t j = 0; j < o.limbs_.size(); ++j) {
+            unsigned __int128 cur = r.limbs_[i + j] + carry +
+                (unsigned __int128)limbs_[i] * o.limbs_[j];
+            r.limbs_[i + j] = static_cast<uint64_t>(cur);
+            carry = cur >> 64;
+        }
+        size_t k = i + o.limbs_.size();
+        while (carry) {
+            unsigned __int128 cur = r.limbs_[k] + carry;
+            r.limbs_[k] = static_cast<uint64_t>(cur);
+            carry = cur >> 64;
+            ++k;
+        }
+    }
+    r.trim();
+    return r;
+}
+
+void
+BigInt::reduceBySubtraction(const BigInt &q)
+{
+    F1_CHECK(!q.isZero(), "reduce by zero modulus");
+    while (*this >= q)
+        *this -= q;
+}
+
+double
+BigInt::toDouble() const
+{
+    double r = 0;
+    for (size_t i = limbs_.size(); i-- > 0;)
+        r = r * 0x1.0p64 + static_cast<double>(limbs_[i]);
+    return r;
+}
+
+bool
+BigInt::isZero() const
+{
+    for (auto limb : limbs_)
+        if (limb != 0)
+            return false;
+    return true;
+}
+
+size_t
+BigInt::bitLength() const
+{
+    size_t top = limbs_.size() - 1;
+    uint64_t hi = limbs_[top];
+    if (hi == 0)
+        return top == 0 ? 0 : 0; // trimmed: only possible for value 0
+    size_t bits = 0;
+    while (hi) {
+        hi >>= 1;
+        ++bits;
+    }
+    return top * 64 + bits;
+}
+
+std::string
+BigInt::toHex() const
+{
+    static const char *digits = "0123456789abcdef";
+    std::string s;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        for (int shift = 60; shift >= 0; shift -= 4)
+            s.push_back(digits[(limbs_[i] >> shift) & 0xf]);
+    }
+    size_t first = s.find_first_not_of('0');
+    if (first == std::string::npos)
+        return "0";
+    return s.substr(first);
+}
+
+} // namespace f1

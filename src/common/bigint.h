@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal arbitrary-precision unsigned integer. The FHE layer keeps all
+ * ciphertext arithmetic in RNS form (32-bit residues), so BigInt is only
+ * needed at the edges: CRT recombination during decryption/decoding and
+ * exact correctness checks in tests. Only the operations those paths
+ * need are provided.
+ */
+#ifndef F1_COMMON_BIGINT_H
+#define F1_COMMON_BIGINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace f1 {
+
+/** Unsigned big integer, little-endian base-2^64 limbs. */
+class BigInt
+{
+  public:
+    BigInt() : limbs_{0} {}
+    explicit BigInt(uint64_t v) : limbs_{v} {}
+
+    /** Comparison: negative / zero / positive like memcmp. */
+    int compare(const BigInt &o) const;
+    bool operator==(const BigInt &o) const { return compare(o) == 0; }
+    bool operator!=(const BigInt &o) const { return compare(o) != 0; }
+    bool operator<(const BigInt &o) const { return compare(o) < 0; }
+    bool operator<=(const BigInt &o) const { return compare(o) <= 0; }
+    bool operator>(const BigInt &o) const { return compare(o) > 0; }
+    bool operator>=(const BigInt &o) const { return compare(o) >= 0; }
+
+    BigInt &operator+=(const BigInt &o);
+    BigInt operator+(const BigInt &o) const;
+
+    /** Subtraction; requires *this >= o. */
+    BigInt &operator-=(const BigInt &o);
+    BigInt operator-(const BigInt &o) const;
+
+    /** Multiply by a 64-bit word. */
+    BigInt &mulSmall(uint64_t m);
+    BigInt timesSmall(uint64_t m) const;
+
+    /** Add a 64-bit word. */
+    BigInt &addSmall(uint64_t a);
+
+    /** Remainder modulo a 64-bit word; requires m > 0. */
+    uint64_t modSmall(uint64_t m) const;
+
+    /** Full product (used by tests and modulus-chain setup). */
+    BigInt operator*(const BigInt &o) const;
+
+    /** Reduce modulo q by repeated subtraction; *this must be < k*q for
+     *  small k (true for CRT recombination, where the sum is < L*Q). */
+    void reduceBySubtraction(const BigInt &q);
+
+    /** Value as double (may lose precision; used for CKKS decode). */
+    double toDouble() const;
+
+    /** Low 64 bits. */
+    uint64_t toU64() const { return limbs_[0]; }
+
+    bool isZero() const;
+
+    /** Number of significant bits. */
+    size_t bitLength() const;
+
+    /** Hex string, most-significant digit first (for debugging). */
+    std::string toHex() const;
+
+  private:
+    void trim();
+
+    std::vector<uint64_t> limbs_;
+};
+
+} // namespace f1
+
+#endif // F1_COMMON_BIGINT_H

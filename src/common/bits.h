@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the polynomial and
+ * hardware-model layers.
+ */
+#ifndef F1_COMMON_BITS_H
+#define F1_COMMON_BITS_H
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace f1 {
+
+/** Returns true iff x is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2(x); requires x > 0. */
+constexpr uint32_t
+log2Floor(uint64_t x)
+{
+    uint32_t r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** log2 of a power of two. */
+inline uint32_t
+log2Exact(uint64_t x)
+{
+    F1_CHECK(isPowerOfTwo(x), "log2Exact on non-power-of-two " << x);
+    return log2Floor(x);
+}
+
+/** Reverses the low `bits` bits of x (used for NTT bit-reversal order). */
+constexpr uint32_t
+bitReverse(uint32_t x, uint32_t bits)
+{
+    uint32_t r = 0;
+    for (uint32_t i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+/** Ceiling division for nonnegative integers. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace f1
+
+#endif // F1_COMMON_BITS_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Error-reporting macros, following the gem5 fatal()/panic() split:
+ * F1_FATAL is for user errors (bad parameters), F1_PANIC for internal
+ * invariant violations, F1_CHECK for cheap always-on assertions.
+ */
+#ifndef F1_COMMON_ERROR_H
+#define F1_COMMON_ERROR_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace f1 {
+
+/** Exception thrown on unrecoverable user-facing errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown on internal invariant violations (bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+throwFatal(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << file << ":" << line << ": " << msg;
+    throw FatalError(os.str());
+}
+
+[[noreturn]] inline void
+throwPanic(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "panic: " << file << ":" << line << ": " << msg;
+    throw PanicError(os.str());
+}
+
+} // namespace detail
+} // namespace f1
+
+/** Abort with a user-error message; condition is the user's fault. */
+#define F1_FATAL(msg)                                                       \
+    do {                                                                    \
+        std::ostringstream f1_os_;                                          \
+        f1_os_ << msg;                                                      \
+        ::f1::detail::throwFatal(__FILE__, __LINE__, f1_os_.str());         \
+    } while (0)
+
+/** Abort with an internal-error message; condition is a bug. */
+#define F1_PANIC(msg)                                                       \
+    do {                                                                    \
+        std::ostringstream f1_os_;                                          \
+        f1_os_ << msg;                                                      \
+        ::f1::detail::throwPanic(__FILE__, __LINE__, f1_os_.str());         \
+    } while (0)
+
+/** Always-on assertion for internal invariants. */
+#define F1_CHECK(cond, msg)                                                 \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            F1_PANIC("check failed: " #cond ": " << msg);                   \
+        }                                                                   \
+    } while (0)
+
+/** Always-on validation of user-provided parameters. */
+#define F1_REQUIRE(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            F1_FATAL("requirement failed: " #cond ": " << msg);             \
+        }                                                                   \
+    } while (0)
+
+#endif // F1_COMMON_ERROR_H

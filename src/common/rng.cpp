@@ -1,0 +1,107 @@
+#include "common/rng.h"
+
+#include "common/error.h"
+
+namespace f1 {
+
+namespace {
+
+/** splitmix64, used to expand the user seed into xoshiro state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::uniform(uint64_t bound)
+{
+    F1_REQUIRE(bound > 0, "uniform() bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformReal();
+}
+
+int64_t
+Rng::sampleCenteredBinomial(int hamming_weight)
+{
+    // Sum of hw fair coin differences: variance hw/2.
+    int64_t acc = 0;
+    int remaining = hamming_weight;
+    while (remaining > 0) {
+        int take = remaining > 32 ? 32 : remaining;
+        uint64_t bits = next();
+        uint64_t a = bits & ((1ULL << take) - 1);
+        uint64_t b = (bits >> 32) & ((1ULL << take) - 1);
+        acc += __builtin_popcountll(a) - __builtin_popcountll(b);
+        remaining -= take;
+    }
+    return acc;
+}
+
+int64_t
+Rng::sampleTernary()
+{
+    return static_cast<int64_t>(uniform(3)) - 1;
+}
+
+std::vector<uint64_t>
+Rng::uniformVector(size_t n, uint64_t bound)
+{
+    std::vector<uint64_t> v(n);
+    for (auto &x : v)
+        x = uniform(bound);
+    return v;
+}
+
+} // namespace f1

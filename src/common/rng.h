@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic random number generation for key material, noise
+ * sampling, and workload data. All randomness in the library flows
+ * through Rng so that tests and benchmarks are reproducible.
+ */
+#ifndef F1_COMMON_RNG_H
+#define F1_COMMON_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace f1 {
+
+/**
+ * xoshiro256** PRNG. Small, fast, and with a well-defined seeding
+ * procedure (splitmix64), so streams are stable across platforms;
+ * std::mt19937 distributions are not portable across standard
+ * libraries, which would make golden tests fragile.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eedf1f1ULL);
+
+    /** Uniform 64-bit word. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound). Requires bound > 0. */
+    uint64_t uniform(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Uniform double in [lo, hi). */
+    double uniformReal(double lo, double hi);
+
+    /**
+     * Centered binomial sample with standard deviation ~sigma
+     * (approximates a discrete Gaussian; standard practice in RLWE
+     * implementations). Returned as a signed value.
+     */
+    int64_t sampleCenteredBinomial(int hammingWeight = 21);
+
+    /** Ternary sample from {-1, 0, 1}, uniform. */
+    int64_t sampleTernary();
+
+    /** Vector of n uniform values in [0, bound). */
+    std::vector<uint64_t> uniformVector(size_t n, uint64_t bound);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace f1
+
+#endif // F1_COMMON_RNG_H

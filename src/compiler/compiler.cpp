@@ -1,0 +1,17 @@
+#include "compiler/compiler.h"
+
+namespace f1 {
+
+CompileResult
+compileProgram(const Program &prog, const F1Config &cfg,
+               const CompileOptions &opt)
+{
+    CompileResult r;
+    r.translation = translateProgram(prog, opt.translate);
+    r.memory = scheduleMemory(r.translation.dfg, cfg, opt.memPolicy);
+    r.schedule = scheduleCycles(r.translation.dfg, r.memory, cfg,
+                                opt.recordEvents);
+    return r;
+}
+
+} // namespace f1

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The full three-phase F1 compiler pipeline (paper Fig. 3): program ->
+ * instruction DFG -> data-movement schedule -> cycle-level schedule.
+ */
+#ifndef F1_COMPILER_COMPILER_H
+#define F1_COMPILER_COMPILER_H
+
+#include "compiler/cycle_scheduler.h"
+#include "compiler/memory_scheduler.h"
+#include "compiler/program.h"
+#include "compiler/translate.h"
+
+namespace f1 {
+
+struct CompileOptions
+{
+    TranslateOptions translate;
+    MemPolicy memPolicy = MemPolicy::kPriorityBelady;
+    bool recordEvents = false;
+};
+
+struct CompileResult
+{
+    TranslationResult translation;
+    MemScheduleResult memory;
+    ScheduleResult schedule;
+};
+
+/** Runs all three phases against `cfg`. */
+CompileResult compileProgram(const Program &prog, const F1Config &cfg,
+                             const CompileOptions &opt = {});
+
+} // namespace f1
+
+#endif // F1_COMPILER_COMPILER_H

@@ -1,0 +1,276 @@
+#include "compiler/memory_scheduler.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace f1 {
+
+namespace {
+
+constexpr uint32_t kNoUse = UINT32_MAX;
+
+/** Per-value bookkeeping for the residency simulation. */
+struct ValState
+{
+    bool resident = false;
+    bool everLoaded = false; //!< compulsory-traffic tracking
+    uint32_t usePtr = 0;     //!< index into the uses list
+};
+
+class MemScheduler
+{
+  public:
+    MemScheduler(const Dfg &dfg, const F1Config &cfg, MemPolicy policy)
+        : dfg_(dfg), cfg_(cfg), policy_(policy),
+          capacity_(cfg.scratchSlots(dfg.n)), vals_(dfg.values.size()),
+          uses_(dfg.values.size())
+    {
+        F1_REQUIRE(capacity_ >= 8, "scratchpad too small for N");
+        for (uint32_t i = 0; i < dfg_.instrs.size(); ++i) {
+            const auto &ins = dfg_.instrs[i];
+            for (ValueId v : {ins.src0, ins.src1})
+                if (v != kNoValue)
+                    uses_[v].push_back(i);
+        }
+    }
+
+    MemScheduleResult
+    run()
+    {
+        std::vector<uint32_t> order = executionOrder();
+        posInOrder_.resize(dfg_.instrs.size());
+        for (uint32_t i = 0; i < order.size(); ++i)
+            posInOrder_[order[i]] = i;
+        if (policy_ == MemPolicy::kCsr) {
+            for (auto &u : uses_) {
+                std::sort(u.begin(), u.end(),
+                          [&](uint32_t a, uint32_t b) {
+                              return posInOrder_[a] < posInOrder_[b];
+                          });
+            }
+        }
+        for (uint32_t i = 0; i < order.size(); ++i) {
+            curPos_ = i;
+            step(order[i]);
+        }
+        return std::move(result_);
+    }
+
+  private:
+    /**
+     * Instruction ordering. The default follows phase-1 priorities
+     * (translation order, topologically valid). The CSR policy
+     * (Goodman) greedily minimizes the live-value set.
+     */
+    std::vector<uint32_t>
+    executionOrder()
+    {
+        const uint32_t n = (uint32_t)dfg_.instrs.size();
+        std::vector<uint32_t> order;
+        order.reserve(n);
+        if (policy_ == MemPolicy::kPriorityBelady) {
+            for (uint32_t i = 0; i < n; ++i)
+                order.push_back(i);
+            return order;
+        }
+
+        std::vector<int> deps(n, 0);
+        std::vector<std::vector<uint32_t>> consumers(
+            dfg_.values.size());
+        for (uint32_t i = 0; i < n; ++i) {
+            const auto &ins = dfg_.instrs[i];
+            for (ValueId v : {ins.src0, ins.src1}) {
+                if (v != kNoValue &&
+                    dfg_.values[v].producer != UINT32_MAX) {
+                    ++deps[i];
+                    consumers[v].push_back(i);
+                }
+            }
+        }
+        std::vector<uint32_t> remaining_uses(dfg_.values.size());
+        for (size_t v = 0; v < uses_.size(); ++v)
+            remaining_uses[v] = (uint32_t)uses_[v].size();
+
+        auto score = [&](uint32_t i) {
+            const auto &ins = dfg_.instrs[i];
+            int s = ins.dst != kNoValue ? -1 : 0;
+            for (ValueId v : {ins.src0, ins.src1})
+                if (v != kNoValue && remaining_uses[v] == 1)
+                    ++s; // this use kills the value
+            return s;
+        };
+
+        using Entry = std::pair<std::pair<int, int64_t>, uint32_t>;
+        std::priority_queue<Entry> ready;
+        auto push = [&](uint32_t i) {
+            ready.push({{score(i), -(int64_t)dfg_.instrs[i].priority},
+                        i});
+        };
+        std::vector<bool> scheduled(n, false);
+        for (uint32_t i = 0; i < n; ++i)
+            if (deps[i] == 0)
+                push(i);
+        while (!ready.empty()) {
+            auto [key, i] = ready.top();
+            ready.pop();
+            if (scheduled[i])
+                continue;
+            if (key.first != score(i)) {
+                push(i); // stale score; reinsert
+                continue;
+            }
+            scheduled[i] = true;
+            order.push_back(i);
+            const auto &ins = dfg_.instrs[i];
+            for (ValueId v : {ins.src0, ins.src1})
+                if (v != kNoValue)
+                    --remaining_uses[v];
+            if (ins.dst != kNoValue)
+                for (uint32_t user : consumers[ins.dst])
+                    if (--deps[user] == 0)
+                        push(user);
+        }
+        F1_CHECK(order.size() == n, "CSR left unscheduled instructions");
+        return order;
+    }
+
+    /** Position (in execution order) of v's next use at/after `pos`. */
+    uint32_t
+    nextUse(ValueId v, uint32_t pos)
+    {
+        auto &st = vals_[v];
+        const auto &u = uses_[v];
+        while (st.usePtr < u.size() &&
+               posInOrder_[u[st.usePtr]] < pos)
+            ++st.usePtr;
+        return st.usePtr < u.size() ? posInOrder_[u[st.usePtr]]
+                                    : kNoUse;
+    }
+
+    void
+    loadValue(ValueId v)
+    {
+        makeRoom(1);
+        auto &st = vals_[v];
+        const auto &info = dfg_.values[v];
+        const uint64_t bytes = dfg_.rvecBytes();
+        if (info.kind == ValueKind::kKsh) {
+            (st.everLoaded ? result_.traffic.kshNonCompulsory
+                           : result_.traffic.kshCompulsory) += bytes;
+        } else if (info.producer == UINT32_MAX) {
+            (st.everLoaded ? result_.traffic.inputNonCompulsory
+                           : result_.traffic.inputCompulsory) += bytes;
+        } else {
+            result_.traffic.intermLoad += bytes;
+        }
+        st.everLoaded = true;
+        st.resident = true;
+        ++residentCount_;
+        result_.sequence.push_back({MemOp::Type::kLoad, UINT32_MAX, v});
+        evictable_.push({nextUse(v, curPos_), v});
+    }
+
+    void
+    makeRoom(uint32_t needed)
+    {
+        while (residentCount_ + needed > capacity_) {
+            F1_CHECK(!evictable_.empty(), "scratchpad deadlock");
+            auto [nu, v] = evictable_.top();
+            evictable_.pop();
+            if (!vals_[v].resident || pinned_.count(v))
+                continue; // stale or in use right now
+            uint32_t cur = nextUse(v, curPos_);
+            if (cur != nu) {
+                evictable_.push({cur, v}); // stale key; refresh
+                continue;
+            }
+            vals_[v].resident = false;
+            --residentCount_;
+            if (cur == kNoUse)
+                continue; // dead: drop silently
+            if (dfg_.values[v].producer != UINT32_MAX) {
+                // Live intermediate: dirty eviction -> spill (§4.3).
+                result_.traffic.intermStore += dfg_.rvecBytes();
+                result_.sequence.push_back(
+                    {MemOp::Type::kStore, UINT32_MAX, v});
+            }
+            // Inputs/hints are clean: re-loadable from HBM.
+        }
+    }
+
+    void
+    step(uint32_t pc)
+    {
+        const auto &ins = dfg_.instrs[pc];
+
+        pinned_.clear();
+        for (ValueId v : {ins.src0, ins.src1}) {
+            if (v == kNoValue)
+                continue;
+            pinned_.insert(v);
+            if (!vals_[v].resident)
+                loadValue(v);
+        }
+        if (ins.dst != kNoValue) {
+            makeRoom(1);
+            vals_[ins.dst].resident = true;
+            ++residentCount_;
+        }
+        result_.sequence.push_back(
+            {MemOp::Type::kCompute, pc, kNoValue});
+        if (ins.op == Opcode::kStore)
+            result_.traffic.intermStore += dfg_.rvecBytes();
+
+        // Retire uses; free dead values immediately (§4.3: "we can
+        // often replace a dead value").
+        for (ValueId v : {ins.src0, ins.src1}) {
+            if (v == kNoValue)
+                continue;
+            auto &st = vals_[v];
+            const auto &u = uses_[v];
+            while (st.usePtr < u.size() &&
+                   posInOrder_[u[st.usePtr]] <= curPos_)
+                ++st.usePtr;
+            if (st.usePtr >= u.size()) {
+                if (st.resident &&
+                    dfg_.values[v].kind != ValueKind::kOutput) {
+                    st.resident = false;
+                    --residentCount_;
+                }
+            } else if (st.resident) {
+                evictable_.push({posInOrder_[u[st.usePtr]], v});
+            }
+        }
+        if (ins.dst != kNoValue)
+            evictable_.push({nextUse(ins.dst, curPos_ + 1), ins.dst});
+
+        result_.peakResidentRVecs =
+            std::max(result_.peakResidentRVecs, (size_t)residentCount_);
+    }
+
+    const Dfg &dfg_;
+    F1Config cfg_;
+    MemPolicy policy_;
+    uint32_t capacity_;
+    uint32_t residentCount_ = 0;
+    uint32_t curPos_ = 0;
+    std::vector<ValState> vals_;
+    std::vector<std::vector<uint32_t>> uses_; //!< per value, instr ids
+    std::vector<uint32_t> posInOrder_;
+    // Belady evicts the furthest next use: max-heap; kNoUse sorts
+    // first naturally.
+    std::priority_queue<std::pair<uint32_t, ValueId>> evictable_;
+    std::set<ValueId> pinned_;
+    MemScheduleResult result_;
+};
+
+} // namespace
+
+MemScheduleResult
+scheduleMemory(const Dfg &dfg, const F1Config &cfg, MemPolicy policy)
+{
+    return MemScheduler(dfg, cfg, policy).run();
+}
+
+} // namespace f1

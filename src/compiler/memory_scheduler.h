@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Phase 2 of the F1 compiler (paper §4.3): the off-chip data-movement
+ * scheduler. Consumes the instruction DFG and produces an operation
+ * sequence with explicit loads and spills, scheduling against a
+ * simplified machine (scratchpad directly attached to the FUs).
+ *
+ * Instructions issue in priority order among ready ones; loads are
+ * issued greedily ahead of use (decoupling); evictions follow the
+ * furthest-next-use rule (Belady approximation, §4.3). The alternative
+ * CSR policy (Goodman's register-pressure-aware ordering) backs the
+ * Table 5 sensitivity study.
+ */
+#ifndef F1_COMPILER_MEMORY_SCHEDULER_H
+#define F1_COMPILER_MEMORY_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.h"
+#include "isa/isa.h"
+
+namespace f1 {
+
+struct MemOp
+{
+    enum class Type : uint8_t { kCompute, kLoad, kStore };
+    Type type;
+    InstrId instr = UINT32_MAX; //!< for kCompute
+    ValueId value = kNoValue;   //!< for kLoad / kStore
+};
+
+struct TrafficBytes
+{
+    uint64_t kshCompulsory = 0;
+    uint64_t kshNonCompulsory = 0;
+    uint64_t inputCompulsory = 0;
+    uint64_t inputNonCompulsory = 0;
+    uint64_t intermLoad = 0;  //!< fills of spilled intermediates
+    uint64_t intermStore = 0; //!< spills + output stores
+
+    uint64_t
+    total() const
+    {
+        return kshCompulsory + kshNonCompulsory + inputCompulsory +
+               inputNonCompulsory + intermLoad + intermStore;
+    }
+    uint64_t
+    compulsory() const
+    {
+        return kshCompulsory + inputCompulsory;
+    }
+};
+
+struct MemScheduleResult
+{
+    std::vector<MemOp> sequence;
+    TrafficBytes traffic;
+    size_t peakResidentRVecs = 0;
+};
+
+enum class MemPolicy {
+    kPriorityBelady, //!< the F1 scheduler (§4.3)
+    kCsr,            //!< register-pressure-aware ordering (Table 5)
+};
+
+MemScheduleResult scheduleMemory(const Dfg &dfg, const F1Config &cfg,
+                                 MemPolicy policy =
+                                     MemPolicy::kPriorityBelady);
+
+} // namespace f1
+
+#endif // F1_COMPILER_MEMORY_SCHEDULER_H

@@ -1,0 +1,15 @@
+#include "compiler/program.h"
+
+namespace f1 {
+
+std::map<int, size_t>
+Program::hintUseCounts() const
+{
+    std::map<int, size_t> counts;
+    for (const auto &op : ops_)
+        if (op.hintId >= 0)
+            ++counts[op.hintId];
+    return counts;
+}
+
+} // namespace f1

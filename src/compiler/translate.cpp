@@ -1,0 +1,450 @@
+#include "compiler/translate.h"
+
+#include <algorithm>
+#include <map>
+
+namespace f1 {
+
+namespace {
+
+/** RVec values backing one ciphertext (2 polynomials x level). */
+struct CtVals
+{
+    std::vector<ValueId> c0, c1; //!< indexed by residue
+};
+
+/** RVec values backing one plaintext (1 polynomial x level). */
+using PtVals = std::vector<ValueId>;
+
+/**
+ * Key-switch hint values, digit variant: per digit i < level, the a/b
+ * polynomials over tracks {0..level-1, special}. GHS variant: a/b over
+ * level + aux residues.
+ */
+struct HintVals
+{
+    // digit: a[i][track]; ghs: a[0][residue].
+    std::vector<std::vector<ValueId>> a, b;
+};
+
+class Translator
+{
+  public:
+    Translator(const Program &prog, const TranslateOptions &opt)
+        : prog_(prog), opt_(opt)
+    {
+        result_.dfg.n = prog.n();
+    }
+
+    TranslationResult
+    run()
+    {
+        orderOps();
+        hintUses_ = prog_.hintUseCounts();
+        for (int op : result_.opOrder)
+            emitOp(op);
+        result_.dfg.validate();
+        return std::move(result_);
+    }
+
+  private:
+    //
+    // Phase 1a: order HE ops by clustering same-hint operations
+    // (paper §4.2: perform all four multiplies, then all four
+    // Rotate(X,1), ...).
+    //
+    void
+    orderOps()
+    {
+        const auto &ops = prog_.ops();
+        std::vector<int> remaining_deps(ops.size(), 0);
+        std::vector<std::vector<int>> users(ops.size());
+        for (size_t i = 0; i < ops.size(); ++i) {
+            for (int src : {ops[i].a, ops[i].b}) {
+                if (src >= 0) {
+                    ++remaining_deps[i];
+                    users[src].push_back((int)i);
+                }
+            }
+        }
+        // Ready list grouped by hint.
+        std::map<int, std::vector<int>> ready; // hintId -> ops (-1: none)
+        auto push_ready = [&](int i) {
+            ready[ops[i].hintId].push_back(i);
+        };
+        for (size_t i = 0; i < ops.size(); ++i)
+            if (remaining_deps[i] == 0)
+                push_ready((int)i);
+
+        int current_hint = -2;
+        while (!ready.empty()) {
+            // Prefer the hint we are already using; otherwise the hint
+            // with the most pending ready ops (amortize its load).
+            std::vector<int> *bucket = nullptr;
+            int bucket_hint = -2;
+            auto cur = ready.find(current_hint);
+            if (cur != ready.end()) {
+                bucket = &cur->second;
+                bucket_hint = cur->first;
+            } else {
+                size_t best = 0;
+                for (auto &[hint, vec] : ready) {
+                    if (vec.size() > best ||
+                        (hint == -1 && vec.size() >= best)) {
+                        best = vec.size();
+                        bucket = &vec;
+                        bucket_hint = hint;
+                    }
+                }
+            }
+            int op = bucket->back();
+            bucket->pop_back();
+            if (bucket->empty())
+                ready.erase(bucket_hint);
+            current_hint = ops[op].hintId;
+
+            result_.opOrder.push_back(op);
+            for (int user : users[op]) {
+                if (--remaining_deps[user] == 0)
+                    push_ready(user);
+            }
+        }
+        F1_CHECK(result_.opOrder.size() == ops.size(),
+                 "cycle in HE-op graph");
+    }
+
+    //
+    // Phase 1b: translation.
+    //
+
+    Dfg &dfg() { return result_.dfg; }
+
+    KeySwitchVariant
+    chooseVariant(const HeOp &op) const
+    {
+        if (opt_.ks == TranslateOptions::Ks::kDigit)
+            return KeySwitchVariant::kDigitLxL;
+        if (opt_.ks == TranslateOptions::Ks::kGhs)
+            return KeySwitchVariant::kGhsExtension;
+        if (prog_.auxCount() < op.level)
+            return KeySwitchVariant::kDigitLxL; // GHS unavailable
+        size_t reuse = hintUses_.count(op.hintId)
+                           ? hintUses_.at(op.hintId)
+                           : 1;
+        if (op.level >= opt_.ghsLevelThreshold ||
+            reuse < opt_.ghsReuseThreshold)
+            return KeySwitchVariant::kGhsExtension;
+        return KeySwitchVariant::kDigitLxL;
+    }
+
+    CtVals
+    freshCt(uint32_t level, ValueKind kind)
+    {
+        CtVals v;
+        for (uint32_t r = 0; r < level; ++r) {
+            v.c0.push_back(dfg().newValue(kind));
+            v.c1.push_back(dfg().newValue(kind));
+        }
+        return v;
+    }
+
+    const HintVals &
+    hint(int hint_id, uint32_t level, KeySwitchVariant variant)
+    {
+        auto it = hints_.find(hint_id);
+        if (it != hints_.end())
+            return it->second;
+        HintVals h;
+        if (variant == KeySwitchVariant::kDigitLxL) {
+            // level digits x (level + 1 special) tracks, a and b.
+            h.a.resize(level);
+            h.b.resize(level);
+            for (uint32_t i = 0; i < level; ++i) {
+                for (uint32_t t = 0; t <= level; ++t) {
+                    h.a[i].push_back(
+                        dfg().newValue(ValueKind::kKsh, hint_id));
+                    h.b[i].push_back(
+                        dfg().newValue(ValueKind::kKsh, hint_id));
+                }
+            }
+            result_.hintRVecs += 2 * level * (level + 1);
+        } else {
+            h.a.resize(1);
+            h.b.resize(1);
+            const uint32_t span = level + prog_.auxCount();
+            for (uint32_t r = 0; r < span; ++r) {
+                h.a[0].push_back(
+                    dfg().newValue(ValueKind::kKsh, hint_id));
+                h.b[0].push_back(
+                    dfg().newValue(ValueKind::kKsh, hint_id));
+            }
+            result_.hintRVecs += 2 * span;
+        }
+        return hints_.emplace(hint_id, std::move(h)).first->second;
+    }
+
+    ValueId
+    binop(Opcode op, ValueId a, ValueId b)
+    {
+        ValueId dst = dfg().newValue(ValueKind::kIntermediate);
+        dfg().emit(op, dst, a, b);
+        return dst;
+    }
+
+    ValueId
+    unop(Opcode op, ValueId a)
+    {
+        ValueId dst = dfg().newValue(ValueKind::kIntermediate);
+        dfg().emit(op, dst, a);
+        return dst;
+    }
+
+    /**
+     * Key-switch of a single polynomial x (paper Listing 1 with the
+     * hybrid special-prime division). Returns (u0, u1).
+     */
+    std::pair<PtVals, PtVals>
+    keySwitch(const PtVals &x, const HintVals &h, uint32_t level,
+              KeySwitchVariant variant)
+    {
+        if (variant == KeySwitchVariant::kDigitLxL)
+            return keySwitchDigit(x, h, level);
+        return keySwitchGhs(x, h, level);
+    }
+
+    std::pair<PtVals, PtVals>
+    keySwitchDigit(const PtVals &x, const HintVals &h, uint32_t level)
+    {
+        const uint32_t tracks = level + 1; // cipher residues + special
+        std::vector<ValueId> acc0(tracks, kNoValue);
+        std::vector<ValueId> acc1(tracks, kNoValue);
+
+        for (uint32_t i = 0; i < level; ++i) {
+            // Digit i to coefficient form (Listing 1 line 3).
+            ValueId yi = unop(Opcode::kIntt, x[i]);
+            for (uint32_t t = 0; t < tracks; ++t) {
+                // Lift into track t (line 8); track i reuses x[i].
+                ValueId xt = (t == i) ? x[i] : unop(Opcode::kNtt, yi);
+                ValueId p1 = binop(Opcode::kMul, xt, h.a[i][t]);
+                ValueId p0 = binop(Opcode::kMul, xt, h.b[i][t]);
+                acc1[t] = acc1[t] == kNoValue
+                              ? p1
+                              : binop(Opcode::kAdd, acc1[t], p1);
+                acc0[t] = acc0[t] == kNoValue
+                              ? p0
+                              : binop(Opcode::kAdd, acc0[t], p0);
+            }
+        }
+
+        // Hybrid division by the special prime: the special track goes
+        // to coefficient form, is re-lifted into each cipher residue,
+        // subtracted, and scaled by p_sp^-1 (a scalar multiply).
+        auto scale_down = [&](std::vector<ValueId> &acc) {
+            PtVals out(level);
+            ValueId d = unop(Opcode::kIntt, acc[level]);
+            for (uint32_t j = 0; j < level; ++j) {
+                ValueId dj = unop(Opcode::kNtt, d);
+                ValueId diff = binop(Opcode::kSub, acc[j], dj);
+                out[j] = unop(Opcode::kMul, diff); // scalar p_sp^-1
+            }
+            return out;
+        };
+        return {scale_down(acc0), scale_down(acc1)};
+    }
+
+    std::pair<PtVals, PtVals>
+    keySwitchGhs(const PtVals &x, const HintVals &h, uint32_t level)
+    {
+        const uint32_t aux = prog_.auxCount();
+        // Basis extension up: INTT each residue, then per aux prime a
+        // multiply-accumulate over the digits plus an NTT.
+        std::vector<ValueId> coeff(level);
+        for (uint32_t i = 0; i < level; ++i)
+            coeff[i] = unop(Opcode::kIntt, x[i]);
+        std::vector<ValueId> ext(aux);
+        for (uint32_t k = 0; k < aux; ++k) {
+            ValueId acc = unop(Opcode::kMul, coeff[0]);
+            for (uint32_t i = 1; i < level; ++i) {
+                ValueId term = unop(Opcode::kMul, coeff[i]);
+                acc = binop(Opcode::kAdd, acc, term);
+            }
+            ext[k] = unop(Opcode::kNtt, acc);
+        }
+
+        // Multiply against the hint over level + aux residues.
+        const uint32_t span = level + aux;
+        std::vector<ValueId> u0(span), u1(span);
+        for (uint32_t r = 0; r < span; ++r) {
+            ValueId xr = r < level ? x[r] : ext[r - level];
+            u1[r] = binop(Opcode::kMul, xr, h.a[0][r]);
+            u0[r] = binop(Opcode::kMul, xr, h.b[0][r]);
+        }
+
+        // Scale down by P: aux residues to coefficient form, extend
+        // back into each cipher residue, subtract, scale.
+        auto scale_down = [&](std::vector<ValueId> &u) {
+            PtVals out(level);
+            std::vector<ValueId> dc(aux);
+            for (uint32_t k = 0; k < aux; ++k)
+                dc[k] = unop(Opcode::kIntt, u[level + k]);
+            for (uint32_t j = 0; j < level; ++j) {
+                ValueId acc = unop(Opcode::kMul, dc[0]);
+                for (uint32_t k = 1; k < aux; ++k) {
+                    ValueId term = unop(Opcode::kMul, dc[k]);
+                    acc = binop(Opcode::kAdd, acc, term);
+                }
+                ValueId dj = unop(Opcode::kNtt, acc);
+                ValueId diff = binop(Opcode::kSub, u[j], dj);
+                out[j] = unop(Opcode::kMul, diff); // scalar P^-1
+            }
+            return out;
+        };
+        return {scale_down(u0), scale_down(u1)};
+    }
+
+    void
+    emitOp(int idx)
+    {
+        const HeOp &op = prog_.ops()[idx];
+        const uint32_t level = op.level;
+        switch (op.kind) {
+          case HeOpKind::kInput: {
+            cts_[idx] = freshCt(level, ValueKind::kInput);
+            return;
+          }
+          case HeOpKind::kInputPlain: {
+            PtVals pt;
+            for (uint32_t r = 0; r < level; ++r)
+                pt.push_back(dfg().newValue(ValueKind::kInput));
+            pts_[idx] = std::move(pt);
+            return;
+          }
+          case HeOpKind::kAdd:
+          case HeOpKind::kSub: {
+            Opcode o = op.kind == HeOpKind::kAdd ? Opcode::kAdd
+                                                 : Opcode::kSub;
+            const CtVals &a = cts_.at(op.a), &b = cts_.at(op.b);
+            CtVals out;
+            for (uint32_t r = 0; r < level; ++r) {
+                out.c0.push_back(binop(o, a.c0[r], b.c0[r]));
+                out.c1.push_back(binop(o, a.c1[r], b.c1[r]));
+            }
+            cts_[idx] = std::move(out);
+            return;
+          }
+          case HeOpKind::kAddPlain: {
+            const CtVals &a = cts_.at(op.a);
+            const PtVals &p = pts_.at(op.b);
+            CtVals out;
+            for (uint32_t r = 0; r < level; ++r) {
+                out.c0.push_back(binop(Opcode::kAdd, a.c0[r], p[r]));
+                out.c1.push_back(a.c1[r]); // c1 passes through
+            }
+            cts_[idx] = std::move(out);
+            return;
+          }
+          case HeOpKind::kMulPlain: {
+            const CtVals &a = cts_.at(op.a);
+            const PtVals &p = pts_.at(op.b);
+            CtVals out;
+            for (uint32_t r = 0; r < level; ++r) {
+                out.c0.push_back(binop(Opcode::kMul, a.c0[r], p[r]));
+                out.c1.push_back(binop(Opcode::kMul, a.c1[r], p[r]));
+            }
+            cts_[idx] = std::move(out);
+            return;
+          }
+          case HeOpKind::kMul: {
+            const CtVals &a = cts_.at(op.a), &b = cts_.at(op.b);
+            KeySwitchVariant variant = chooseVariant(op);
+            const HintVals &h = hint(op.hintId, level, variant);
+            // Tensor (§2.2.1).
+            PtVals l0(level), l1(level), l2(level);
+            for (uint32_t r = 0; r < level; ++r) {
+                l0[r] = binop(Opcode::kMul, a.c0[r], b.c0[r]);
+                ValueId t1 = binop(Opcode::kMul, a.c0[r], b.c1[r]);
+                ValueId t2 = binop(Opcode::kMul, a.c1[r], b.c0[r]);
+                l1[r] = binop(Opcode::kAdd, t1, t2);
+                l2[r] = binop(Opcode::kMul, a.c1[r], b.c1[r]);
+            }
+            auto [u0, u1] = keySwitch(l2, h, level, variant);
+            CtVals out;
+            for (uint32_t r = 0; r < level; ++r) {
+                out.c0.push_back(binop(Opcode::kAdd, l0[r], u0[r]));
+                out.c1.push_back(binop(Opcode::kAdd, l1[r], u1[r]));
+            }
+            cts_[idx] = std::move(out);
+            return;
+          }
+          case HeOpKind::kRotate:
+          case HeOpKind::kConjugate: {
+            const CtVals &a = cts_.at(op.a);
+            KeySwitchVariant variant = chooseVariant(op);
+            const HintVals &h = hint(op.hintId, level, variant);
+            PtVals sc0(level), sc1(level);
+            for (uint32_t r = 0; r < level; ++r) {
+                sc0[r] = unop(Opcode::kAut, a.c0[r]);
+                sc1[r] = unop(Opcode::kAut, a.c1[r]);
+            }
+            auto [u0, u1] = keySwitch(sc1, h, level, variant);
+            CtVals out;
+            for (uint32_t r = 0; r < level; ++r) {
+                out.c0.push_back(binop(Opcode::kAdd, sc0[r], u0[r]));
+                out.c1.push_back(u1[r]);
+            }
+            cts_[idx] = std::move(out);
+            return;
+          }
+          case HeOpKind::kModSwitch: {
+            const CtVals &a = cts_.at(op.a);
+            CtVals out;
+            auto drop = [&](const std::vector<ValueId> &poly) {
+                // INTT the dropped residue, lift δ into each remaining
+                // residue, subtract, scale by q_drop^-1.
+                ValueId y = unop(Opcode::kIntt, poly[level]);
+                std::vector<ValueId> res;
+                for (uint32_t j = 0; j < level; ++j) {
+                    ValueId dj = unop(Opcode::kNtt, y);
+                    ValueId diff = binop(Opcode::kSub, poly[j], dj);
+                    res.push_back(unop(Opcode::kMul, diff));
+                }
+                return res;
+            };
+            out.c0 = drop(a.c0);
+            out.c1 = drop(a.c1);
+            cts_[idx] = std::move(out);
+            return;
+          }
+          case HeOpKind::kOutput: {
+            const CtVals &a = cts_.at(op.a);
+            for (uint32_t r = 0; r < level; ++r) {
+                dfg().values[a.c0[r]].kind = ValueKind::kOutput;
+                dfg().values[a.c1[r]].kind = ValueKind::kOutput;
+                // Outputs are stored back to memory.
+                dfg().emit(Opcode::kStore, kNoValue, a.c0[r]);
+                dfg().emit(Opcode::kStore, kNoValue, a.c1[r]);
+            }
+            return;
+          }
+        }
+        F1_PANIC("unhandled HE op kind");
+    }
+
+    const Program &prog_;
+    TranslateOptions opt_;
+    TranslationResult result_;
+    std::map<int, CtVals> cts_;
+    std::map<int, PtVals> pts_;
+    std::map<int, HintVals> hints_;
+    std::map<int, size_t> hintUses_;
+};
+
+} // namespace
+
+TranslationResult
+translateProgram(const Program &prog, const TranslateOptions &opt)
+{
+    return Translator(prog, opt).run();
+}
+
+} // namespace f1

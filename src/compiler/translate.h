@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Phase 1 of the F1 compiler (paper §4.2): orders homomorphic
+ * operations to maximize key-switch-hint reuse, chooses the
+ * key-switching implementation per operation (algorithmic choice), and
+ * translates the program into an instruction-level dataflow graph at
+ * RVec granularity.
+ */
+#ifndef F1_COMPILER_TRANSLATE_H
+#define F1_COMPILER_TRANSLATE_H
+
+#include <vector>
+
+#include "compiler/program.h"
+#include "isa/isa.h"
+
+namespace f1 {
+
+struct TranslateOptions
+{
+    /**
+     * Key-switch selection: kAuto applies the paper's heuristic
+     * (GHS for high levels with little hint reuse; digit otherwise);
+     * the others force one variant.
+     */
+    enum class Ks { kAuto, kDigit, kGhs } ks = Ks::kAuto;
+
+    /** Level at/above which kAuto prefers the GHS variant (§2.4:
+     *  "attractive for very large L (~20)"). */
+    uint32_t ghsLevelThreshold = 18;
+
+    /** Hint-reuse count below which kAuto prefers GHS even at lower
+     *  levels (large hints are not worth loading once). */
+    size_t ghsReuseThreshold = 2;
+};
+
+struct TranslationResult
+{
+    Dfg dfg;
+    std::vector<int> opOrder; //!< phase-1 order of HE ops
+    size_t hintRVecs = 0;     //!< total key-switch hint working set
+};
+
+/** Runs phase 1 on `prog`. */
+TranslationResult translateProgram(const Program &prog,
+                                   const TranslateOptions &opt = {});
+
+} // namespace f1
+
+#endif // F1_COMPILER_TRANSLATE_H

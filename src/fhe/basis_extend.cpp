@@ -1,0 +1,83 @@
+#include "fhe/basis_extend.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "modular/modarith.h"
+
+namespace f1 {
+
+BasisExtender::BasisExtender(const PolyContext *ctx,
+                             std::vector<size_t> source,
+                             std::vector<size_t> target)
+    : ctx_(ctx), source_(std::move(source)), target_(std::move(target))
+{
+    F1_REQUIRE(!source_.empty() && !target_.empty(),
+               "basis extension needs nonempty bases");
+    const size_t l = source_.size();
+    qHatInv_.resize(l);
+    qInvReal_.resize(l);
+    for (size_t i = 0; i < l; ++i) {
+        const uint32_t qi = ctx_->modulus(source_[i]);
+        uint64_t hat = 1;
+        for (size_t j = 0; j < l; ++j) {
+            if (j != i)
+                hat = hat * (ctx_->modulus(source_[j]) % qi) % qi;
+        }
+        qHatInv_[i] = invMod(static_cast<uint32_t>(hat), qi);
+        qInvReal_[i] = 1.0 / static_cast<double>(qi);
+    }
+    qHatModTarget_.resize(target_.size());
+    qModTarget_.resize(target_.size());
+    for (size_t k = 0; k < target_.size(); ++k) {
+        const uint32_t pk = ctx_->modulus(target_[k]);
+        qHatModTarget_[k].resize(l);
+        uint64_t qmod = 1;
+        for (size_t i = 0; i < l; ++i)
+            qmod = qmod * (ctx_->modulus(source_[i]) % pk) % pk;
+        qModTarget_[k] = static_cast<uint32_t>(qmod);
+        for (size_t i = 0; i < l; ++i) {
+            uint64_t hat = 1;
+            for (size_t j = 0; j < l; ++j) {
+                if (j != i) {
+                    hat = hat * (ctx_->modulus(source_[j]) % pk) % pk;
+                }
+            }
+            qHatModTarget_[k][i] = static_cast<uint32_t>(hat);
+        }
+    }
+}
+
+void
+BasisExtender::extend(std::span<const uint32_t> in, size_t n,
+                      std::span<uint32_t> out) const
+{
+    const size_t l = source_.size();
+    const size_t tcount = target_.size();
+    F1_CHECK(in.size() == l * n, "bad input size");
+    F1_CHECK(out.size() == tcount * n, "bad output size");
+
+    std::vector<uint32_t> w(l);
+    for (size_t j = 0; j < n; ++j) {
+        double frac = 0;
+        for (size_t i = 0; i < l; ++i) {
+            const uint32_t qi = ctx_->modulus(source_[i]);
+            w[i] = mulMod(in[i * n + j], qHatInv_[i], qi);
+            frac += static_cast<double>(w[i]) * qInvReal_[i];
+        }
+        const uint64_t alpha = static_cast<uint64_t>(frac + 0.5);
+        for (size_t k = 0; k < tcount; ++k) {
+            const uint32_t pk = ctx_->modulus(target_[k]);
+            uint64_t acc = 0;
+            for (size_t i = 0; i < l; ++i) {
+                acc += (uint64_t)(w[i] % pk) * qHatModTarget_[k][i] % pk;
+            }
+            acc %= pk;
+            uint64_t corr = alpha % pk * qModTarget_[k] % pk;
+            out[k * n + j] = static_cast<uint32_t>(
+                (acc + pk - corr % pk) % pk);
+        }
+    }
+}
+
+} // namespace f1

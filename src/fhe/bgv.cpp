@@ -1,0 +1,339 @@
+#include "fhe/bgv.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "modular/modarith.h"
+
+namespace f1 {
+
+namespace {
+
+/** Additive noise (bits) contributed by one key switch at `level`. */
+double
+keySwitchNoiseBits(const FheContext *ctx, uint64_t t, size_t level)
+{
+    // Hybrid digit variant: the raw digit term t*sum_i x~_i*e_i
+    // (~ t * sqrt(level*N) * q/2 * sigma) is divided by the special
+    // prime, leaving ~ t * sigma * sqrt(level*N) plus the rounding
+    // term t * sqrt(N)/2. GHS lands in the same range.
+    return std::log2(static_cast<double>(t)) +
+           0.5 * std::log2(static_cast<double>(level) * ctx->n()) + 6.0;
+}
+
+} // namespace
+
+BgvScheme::BgvScheme(const FheContext *ctx, uint64_t t,
+                     KeySwitchVariant variant, uint64_t seed)
+    : ctx_(ctx), t_(t == 0 ? ctx->plainModulus() : t), variant_(variant),
+      encoder_(ctx, t_ == 0 ? ctx->plainModulus() : t_), switcher_(ctx),
+      rng_(seed), sk_(switcher_.keyGen(rng_)),
+      sSquared_(sk_.s.mul(sk_.s))
+{
+}
+
+void
+BgvScheme::adoptKey(const SecretKey &sk)
+{
+    sk_ = sk;
+    sSquared_ = sk_.s.mul(sk_.s);
+    relinHints_.clear();
+    galoisHints_.clear();
+}
+
+Ciphertext
+BgvScheme::freshCiphertext(const RnsPoly &m, size_t level)
+{
+    RnsPoly c1 = RnsPoly::uniform(ctx_->polyContext(), level, rng_);
+    RnsPoly e = ctx_->sampleError(level, rng_);
+    e.mulScalar(t_);
+    RnsPoly c0 = m + e;
+    c0 -= c1.mul(sk_.s.restricted(level));
+
+    Ciphertext ct;
+    ct.polys.push_back(std::move(c0));
+    ct.polys.push_back(std::move(c1));
+    ct.noiseBits = std::log2(static_cast<double>(t_)) +
+                   0.5 * std::log2(static_cast<double>(ctx_->n())) + 4.0;
+    return ct;
+}
+
+Ciphertext
+BgvScheme::encryptSlots(std::span<const uint64_t> slots, size_t level)
+{
+    auto coeffs = encoder_.encodeSlots(slots);
+    return freshCiphertext(encoder_.toPoly(coeffs, level), level);
+}
+
+Ciphertext
+BgvScheme::encryptCoeffs(std::span<const uint64_t> values, size_t level)
+{
+    auto coeffs = encoder_.encodeCoeffs(values);
+    return freshCiphertext(encoder_.toPoly(coeffs, level), level);
+}
+
+Ciphertext
+BgvScheme::encryptPoly(const RnsPoly &m)
+{
+    return freshCiphertext(m, m.levels());
+}
+
+RnsPoly
+BgvScheme::decryptPhase(const Ciphertext &ct) const
+{
+    F1_CHECK(ct.polys.size() == 2, "decrypting non-relinearized ct");
+    const size_t level = ct.level();
+    RnsPoly phase = ct.polys[0];
+    phase += ct.polys[1].mul(sk_.s.restricted(level));
+    return phase;
+}
+
+namespace {
+
+/** Centered phase coefficient -> plaintext value mod t. */
+uint64_t
+phaseToPlain(const std::pair<BigInt, bool> &centered, uint64_t t)
+{
+    uint64_t mag = centered.first.modSmall(t);
+    if (centered.second && mag != 0)
+        return t - mag;
+    return mag;
+}
+
+} // namespace
+
+std::vector<uint64_t>
+BgvScheme::decryptCoeffs(const Ciphertext &ct) const
+{
+    RnsPoly phase = decryptPhase(ct);
+    phase.toCoeff();
+    const uint32_t n = ctx_->n();
+    std::vector<uint64_t> out(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        uint64_t m = phaseToPlain(phase.coeffCentered(i), t_);
+        out[i] = m * (ct.ptCorrection % t_) % t_;
+    }
+    return out;
+}
+
+std::vector<uint64_t>
+BgvScheme::decryptSlots(const Ciphertext &ct) const
+{
+    return encoder_.decodeSlots(decryptCoeffs(ct));
+}
+
+double
+BgvScheme::measuredNoiseBits(const Ciphertext &ct) const
+{
+    RnsPoly phase = decryptPhase(ct);
+    phase.toCoeff();
+    size_t max_bits = 0;
+    for (uint32_t i = 0; i < ctx_->n(); ++i) {
+        auto [mag, neg] = phase.coeffCentered(i);
+        max_bits = std::max(max_bits, mag.bitLength());
+    }
+    return static_cast<double>(max_bits);
+}
+
+double
+BgvScheme::noiseBudgetBits(const Ciphertext &ct) const
+{
+    return ctx_->logQ(ct.level()) - ct.noiseBits - 1.0;
+}
+
+Ciphertext
+BgvScheme::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    F1_CHECK(a.level() == b.level(), "level mismatch in add");
+    F1_CHECK(a.ptCorrection == b.ptCorrection,
+             "plaintext-correction mismatch in add; modulus-switch "
+             "operands in lockstep");
+    Ciphertext out = a;
+    for (size_t i = 0; i < out.polys.size(); ++i)
+        out.polys[i] += b.polys[i];
+    out.noiseBits = std::max(a.noiseBits, b.noiseBits) + 1.0;
+    return out;
+}
+
+Ciphertext
+BgvScheme::sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    F1_CHECK(a.level() == b.level(), "level mismatch in sub");
+    F1_CHECK(a.ptCorrection == b.ptCorrection,
+             "plaintext-correction mismatch in sub");
+    Ciphertext out = a;
+    for (size_t i = 0; i < out.polys.size(); ++i)
+        out.polys[i] -= b.polys[i];
+    out.noiseBits = std::max(a.noiseBits, b.noiseBits) + 1.0;
+    return out;
+}
+
+Ciphertext
+BgvScheme::addPlain(const Ciphertext &a,
+                    std::span<const int64_t> coeffs) const
+{
+    Ciphertext out = a;
+    // Plaintext correction must be undone on the constant: the stored
+    // ciphertext decrypts to m * corr; add c * corr^-1 so that the sum
+    // decrypts to (m + c) * corr... corr is tracked multiplicatively at
+    // decryption, so add corr^-1 * c.
+    RnsPoly pt = encoder_.toPoly(coeffs, a.level());
+    if (a.ptCorrection != 1) {
+        uint64_t inv = 1, corr = a.ptCorrection % t_, e = t_ - 2;
+        // corr^(t-2) mod t only valid for prime t; for power-of-two t
+        // use odd-inverse. Both cases: use invOdd via extended scheme.
+        if (t_ % 2 == 1) {
+            uint64_t base = corr;
+            while (e) {
+                if (e & 1)
+                    inv = inv * base % t_;
+                base = base * base % t_;
+                e >>= 1;
+            }
+        } else {
+            // t power of two: correction is a product of odd primes,
+            // invertible mod 2^k by Newton iteration.
+            uint64_t x = corr;
+            for (int i = 0; i < 6; ++i)
+                x = x * (2 - corr * x) % t_;
+            inv = x % t_;
+        }
+        pt.mulScalar(inv);
+    }
+    out.polys[0] += pt;
+    out.noiseBits = a.noiseBits + 0.5;
+    return out;
+}
+
+Ciphertext
+BgvScheme::mulPlain(const Ciphertext &a,
+                    std::span<const int64_t> coeffs) const
+{
+    Ciphertext out = a;
+    RnsPoly pt = encoder_.toPoly(coeffs, a.level());
+    for (auto &p : out.polys)
+        p.mulEq(pt);
+    out.noiseBits = a.noiseBits + std::log2(static_cast<double>(t_)) +
+                    0.5 * std::log2(static_cast<double>(ctx_->n())) + 1.0;
+    return out;
+}
+
+const KeySwitchHint &
+BgvScheme::relinHint(size_t level)
+{
+    auto it = relinHints_.find(level);
+    if (it == relinHints_.end()) {
+        it = relinHints_
+                 .emplace(level,
+                          switcher_.makeHint(sSquared_, sk_, level, t_,
+                                             variant_, rng_))
+                 .first;
+    }
+    return it->second;
+}
+
+const KeySwitchHint &
+BgvScheme::galoisHint(uint64_t g, size_t level)
+{
+    auto key = std::make_pair(g, level);
+    auto it = galoisHints_.find(key);
+    if (it == galoisHints_.end()) {
+        RnsPoly sg = sk_.s.automorphism(g);
+        it = galoisHints_
+                 .emplace(key, switcher_.makeHint(sg, sk_, level, t_,
+                                                  variant_, rng_))
+                 .first;
+    }
+    return it->second;
+}
+
+Ciphertext
+BgvScheme::mul(const Ciphertext &a, const Ciphertext &b)
+{
+    F1_CHECK(a.polys.size() == 2 && b.polys.size() == 2,
+             "mul expects relinearized inputs");
+    F1_CHECK(a.level() == b.level(), "level mismatch in mul");
+    const size_t level = a.level();
+
+    // Tensor: (l0, l1, l2) = (a0*b0, a0*b1 + a1*b0, a1*b1) (§2.2.1).
+    RnsPoly l0 = a.polys[0].mul(b.polys[0]);
+    RnsPoly l1 = a.polys[0].mul(b.polys[1]);
+    l1 += a.polys[1].mul(b.polys[0]);
+    RnsPoly l2 = a.polys[1].mul(b.polys[1]);
+
+    auto [u0, u1] = switcher_.apply(l2, relinHint(level), t_);
+
+    Ciphertext out;
+    out.polys.push_back(l0 + u0);
+    out.polys.push_back(l1 + u1);
+    double tensor = a.noiseBits + b.noiseBits +
+                    0.5 * std::log2(static_cast<double>(ctx_->n())) + 2.0;
+    out.noiseBits =
+        std::max(tensor, keySwitchNoiseBits(ctx_, t_, level)) + 1.0;
+    out.ptCorrection =
+        a.ptCorrection * b.ptCorrection % t_;
+    return out;
+}
+
+Ciphertext
+BgvScheme::applyGalois(const Ciphertext &a, uint64_t g)
+{
+    F1_CHECK(a.polys.size() == 2, "galois expects relinearized input");
+    const size_t level = a.level();
+    RnsPoly c0 = a.polys[0].automorphism(g);
+    RnsPoly c1 = a.polys[1].automorphism(g);
+
+    auto [u0, u1] = switcher_.apply(c1, galoisHint(g, level), t_);
+
+    Ciphertext out;
+    out.polys.push_back(c0 + u0);
+    out.polys.push_back(std::move(u1));
+    out.noiseBits =
+        std::max(a.noiseBits, keySwitchNoiseBits(ctx_, t_, level)) + 1.0;
+    out.ptCorrection = a.ptCorrection;
+    return out;
+}
+
+Ciphertext
+BgvScheme::rotate(const Ciphertext &a, int64_t r)
+{
+    return applyGalois(a, encoder_.slotOrder().rotationGalois(r));
+}
+
+Ciphertext
+BgvScheme::conjugate(const Ciphertext &a)
+{
+    return applyGalois(a, encoder_.slotOrder().conjugationGalois());
+}
+
+Ciphertext
+BgvScheme::modSwitch(const Ciphertext &a) const
+{
+    F1_CHECK(a.level() >= 2, "cannot modulus-switch below level 1");
+    Ciphertext out = a;
+    const uint32_t dropped = ctx_->ciphertextPrime(a.level() - 1);
+    for (auto &p : out.polys)
+        dropLastModulusRounded(p, t_);
+    const double floor_bits =
+        std::log2(static_cast<double>(t_)) +
+        0.5 * std::log2(static_cast<double>(ctx_->n())) + 3.0;
+    out.noiseBits =
+        std::max(a.noiseBits - std::log2((double)dropped), floor_bits) +
+        1.0;
+    out.ptCorrection =
+        a.ptCorrection * (dropped % t_) % t_;
+    return out;
+}
+
+Ciphertext
+BgvScheme::mulScalarInt(const Ciphertext &a, uint64_t scalar) const
+{
+    Ciphertext out = a;
+    for (auto &p : out.polys)
+        p.mulScalar(scalar);
+    out.noiseBits =
+        a.noiseBits + std::log2(static_cast<double>(scalar) + 1.0);
+    return out;
+}
+
+} // namespace f1

@@ -1,0 +1,288 @@
+#include "fhe/bootstrap.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "fhe/basis_extend.h"
+#include "modular/modarith.h"
+
+namespace f1 {
+
+namespace {
+
+/** Reads the centered small coefficients of a ternary key. */
+std::vector<int64_t>
+ternaryCoeffs(const RnsPoly &s_full)
+{
+    RnsPoly s1 = s_full.restricted(1);
+    s1.toCoeff();
+    const uint32_t q = s1.context()->modulus(0);
+    auto res = s1.residue(0);
+    std::vector<int64_t> out(res.size());
+    for (size_t i = 0; i < res.size(); ++i) {
+        F1_CHECK(res[i] <= 1 || res[i] >= q - 1,
+                 "secret key is not ternary");
+        out[i] = res[i] == q - 1 ? -1 : (int64_t)res[i];
+    }
+    return out;
+}
+
+} // namespace
+
+BgvBootstrapper::BgvBootstrapper(BgvScheme *scheme, uint32_t digits)
+    : scheme_(scheme), digits_(digits),
+      // The inner plaintext modulus carries log2(N) headroom so the
+      // trace's N factor can be divided out exactly.
+      inner_(scheme->context(),
+             1ULL << (digits + log2Exact(scheme->context()->n())),
+             scheme->variant(), /*seed=*/0xb007)
+{
+    F1_REQUIRE(scheme_->plainModulus() == 2,
+               "BGV bootstrapping implemented for t = 2 (non-packed)");
+    F1_REQUIRE(digits_ >= 4 && digits_ <= 14, "digits out of range");
+    F1_REQUIRE(scheme_->context()->maxLevel() > digits_,
+               "chain too short for " << digits_ << "-digit recryption");
+    inner_.adoptKey(scheme_->secretKey());
+
+    // Bootstrapping key: encryption of s under plaintext modulus 2^d at
+    // the top of the chain.
+    auto s_coeffs = ternaryCoeffs(scheme_->secretKey().s);
+    RnsPoly m = RnsPoly::fromSigned(scheme_->context()->polyContext(),
+                                    scheme_->context()->maxLevel(),
+                                    s_coeffs);
+    bootKey_ = inner_.encryptPoly(m);
+}
+
+size_t
+BgvBootstrapper::outputLevel() const
+{
+    return scheme_->context()->maxLevel() - (digits_ - 2);
+}
+
+Ciphertext
+BgvBootstrapper::bootstrap(const Ciphertext &ct)
+{
+    F1_REQUIRE(ct.level() == 1,
+               "bootstrap expects an exhausted level-1 ciphertext");
+    const FheContext *ctx = scheme_->context();
+    const uint32_t q0 = ctx->ciphertextPrime(0);
+    const uint32_t n = ctx->n();
+    const int64_t qtilde = 1LL << (digits_ + log2Exact(n));
+
+    // 1. Modulus-switch the *known* ciphertext data from q0 to 2^d,
+    //    preserving parity (BGV switching with t = 2).
+    auto switchPoly = [&](const RnsPoly &p) {
+        RnsPoly c = p;
+        c.toCoeff();
+        auto res = c.residue(0);
+        std::vector<int64_t> out(n);
+        const uint32_t half = q0 / 2;
+        for (uint32_t i = 0; i < n; ++i) {
+            int64_t v = res[i] > half ? (int64_t)res[i] - q0
+                                      : (int64_t)res[i];
+            double scaled = static_cast<double>(v) * qtilde / q0;
+            int64_t lo = static_cast<int64_t>(std::floor(scaled));
+            // Pick the candidate with matching parity.
+            int64_t cand = ((lo ^ v) & 1) == 0 ? lo : lo + 1;
+            if (std::abs(scaled - (double)cand) >
+                std::abs(scaled - (double)(cand + 2)))
+                cand += 2;
+            out[i] = cand;
+        }
+        return out;
+    };
+    auto c0t = switchPoly(ct.polys[0]);
+    auto c1t = switchPoly(ct.polys[1]);
+
+    // 2. Homomorphic phase: u = c~0 + c~1 * s under plaintext 2^(d+logN).
+    //    The extra log2(N) headroom absorbs the N factor the trace
+    //    introduces below.
+    Ciphertext u = inner_.mulPlain(bootKey_, c1t);
+    u = inner_.addPlain(u, c0t);
+
+    // 3. Homomorphic trace: u's plaintext polynomial has garbage in
+    //    coefficients 1..N-1 (the phase is a full ring element); the
+    //    trace sum over all automorphisms zeroes them and leaves
+    //    N * u_0 in coefficient 0 (AP13's coefficient isolation).
+    //    log2(N) Galois steps with g = 2^k + 1.
+    const uint32_t logN = log2Exact(n);
+    for (uint32_t k = logN; k >= 1; --k)
+        u = inner_.add(u, inner_.applyGalois(u, (1ULL << k) + 1));
+
+    // 4. Exact division by N = 2^logN: both the N*u_0 term and the
+    //    2^(d+logN)*E noise are divisible, so scaling by N^-1 mod Q is
+    //    exact and the plaintext modulus drops back to 2^d.
+    {
+        const PolyContext *pc = ctx->polyContext();
+        std::vector<uint32_t> ninv(u.level());
+        for (size_t i = 0; i < u.level(); ++i)
+            ninv[i] = invMod(n % pc->modulus(i), pc->modulus(i));
+        for (auto &p : u.polys)
+            p.mulScalarPerResidue(ninv);
+        u.noiseBits -= logN; // exact division shrinks the phase
+    }
+
+    // 5. (d-2) squarings: u^(2^(d-2)) ≡ lsb(u) (mod 2^d). The
+    //    plaintext is now a constant polynomial, so ring squaring is
+    //    coefficient squaring.
+    for (uint32_t k = 0; k + 2 < digits_; ++k) {
+        u = inner_.modSwitch(u);
+        u = inner_.mul(u, u);
+    }
+
+    // 6. Reinterpret under t = 2. The accumulated plaintext correction
+    //    is odd, so parity is unaffected and can be dropped.
+    Ciphertext out;
+    out.polys = u.polys;
+    out.noiseBits = u.noiseBits;
+    out.ptCorrection = 1;
+    out.scale = 0;
+    return out;
+}
+
+CkksBootstrapper::CkksBootstrapper(CkksScheme *scheme, uint32_t taylorDeg)
+    : scheme_(scheme), taylorDeg_(taylorDeg)
+{
+    F1_REQUIRE(taylorDeg_ == 3 || taylorDeg_ == 5 || taylorDeg_ == 7,
+               "supported Taylor degrees: 3, 5, 7");
+}
+
+Ciphertext
+CkksBootstrapper::evalSinePoly(const Ciphertext &y)
+{
+    // sin/cos Taylor evaluation followed by angle doublings; y holds
+    // the reduced angle p = 2*pi*u / (q0 * 2^r). Additions use exact
+    // scale alignment (alignTo) so prime/scale drift never compounds.
+    auto &S = *scheme_;
+    const FheContext *ctx = scheme_->context();
+    const int r = kDoublings;
+
+    // Brings `ct` to (level, scale) exactly, spending one level.
+    auto alignTo = [&](const Ciphertext &ct, size_t level,
+                       double scale) {
+        Ciphertext x = S.modDownTo(ct, level + 1);
+        const double q = ctx->ciphertextPrime(level);
+        x = S.mulConstAtScale(x, 1.0, scale * q / x.scale);
+        return S.rescale(x);
+    };
+
+    // Powers (levels shrink as we rescale).
+    Ciphertext y2 = S.rescale(S.mul(y, y));
+    Ciphertext y3 = S.rescale(S.mul(y2, S.modDownTo(y, y2.level())));
+
+    // sin ≈ y - y^3/6 (+ y^5/120 - y^7/5040),
+    // cos ≈ 1 - y^2/2 (+ y^4/24 - y^6/720).
+    Ciphertext sin_t = S.rescale(S.mulConst(y3, -1.0 / 6.0));
+    sin_t = S.add(sin_t,
+                  alignTo(y, sin_t.level(), sin_t.scale));
+    Ciphertext cos_t = S.rescale(S.mulConst(y2, -0.5));
+    cos_t = S.addConst(cos_t, 1.0);
+
+    if (taylorDeg_ >= 5) {
+        Ciphertext y4 = S.rescale(S.mul(y2, y2));
+        Ciphertext y5 =
+            S.rescale(S.mul(y4, S.modDownTo(y, y4.level())));
+        Ciphertext s5 = S.rescale(S.mulConst(y5, 1.0 / 120.0));
+        sin_t = S.add(alignTo(sin_t, s5.level(), s5.scale), s5);
+        Ciphertext c4 = S.rescale(S.mulConst(y4, 1.0 / 24.0));
+        cos_t = S.add(alignTo(cos_t, c4.level(), c4.scale), c4);
+        if (taylorDeg_ >= 7) {
+            Ciphertext y6 =
+                S.rescale(S.mul(y4, S.modDownTo(y2, y4.level())));
+            Ciphertext y7 =
+                S.rescale(S.mul(y6, S.modDownTo(y, y6.level())));
+            Ciphertext s7 = S.rescale(S.mulConst(y7, -1.0 / 5040.0));
+            sin_t = S.add(alignTo(sin_t, s7.level(), s7.scale), s7);
+            Ciphertext c6 = S.rescale(S.mulConst(y6, -1.0 / 720.0));
+            cos_t = S.add(alignTo(cos_t, c6.level(), c6.scale), c6);
+        }
+    }
+
+    // Angle doublings: sin(2a) = 2 sin cos, cos(2a) = 1 - 2 sin^2.
+    for (int i = 0; i < r; ++i) {
+        size_t lv = std::min(sin_t.level(), cos_t.level());
+        Ciphertext s = S.modDownTo(sin_t, lv);
+        Ciphertext c = S.modDownTo(cos_t, lv);
+        Ciphertext prod = S.rescale(S.mul(s, c));
+        Ciphertext s2 = S.rescale(S.mulConst(prod, 2.0));
+        Ciphertext ss = S.rescale(S.mul(s, s));
+        ss = S.rescale(S.mulConst(ss, -2.0));
+        cos_t = S.addConst(ss, 1.0);
+        sin_t = std::move(s2);
+    }
+    return sin_t;
+}
+
+Ciphertext
+CkksBootstrapper::bootstrap(const Ciphertext &ct)
+{
+    F1_REQUIRE(ct.level() == 1,
+               "bootstrap expects an exhausted level-1 ciphertext");
+    const FheContext *ctx = scheme_->context();
+    const PolyContext *pc = ctx->polyContext();
+    const uint32_t q0 = ctx->ciphertextPrime(0);
+    const size_t top = ctx->maxLevel();
+    const int r = kDoublings;
+
+    // 1. Modulus raise via exact single-residue basis extension: the
+    //    raised ciphertext decrypts to m + e + q0*I.
+    std::vector<size_t> src{0}, dst(top - 1);
+    for (size_t i = 1; i < top; ++i)
+        dst[i - 1] = i;
+    BasisExtender up(pc, src, dst);
+
+    Ciphertext raised;
+    for (const auto &p : ct.polys) {
+        RnsPoly c = p;
+        c.toCoeff();
+        std::vector<uint32_t> ext((top - 1) * ctx->n());
+        up.extend(c.residue(0), ctx->n(), ext);
+        RnsPoly full(pc, top, Domain::kCoeff);
+        std::copy(c.residue(0).begin(), c.residue(0).end(),
+                  full.residue(0).begin());
+        for (size_t i = 1; i < top; ++i)
+            std::copy(ext.begin() + (i - 1) * ctx->n(),
+                      ext.begin() + i * ctx->n(),
+                      full.residue(i).begin());
+        full.toNtt();
+        raised.polys.push_back(std::move(full));
+    }
+    // The raised ciphertext's phase is u; declaring its scale to be q0
+    // makes its *value* u/q0, so the q0 division happens in the scale
+    // bookkeeping instead of through a constant too small to encode.
+    raised.scale = static_cast<double>(q0);
+    raised.noiseBits = ct.noiseBits;
+
+    // 2. Homomorphic trace (non-packed): the wrap term q0*I is an
+    //    integer *polynomial*, so its slot values are complex and the
+    //    sine identity would not apply slot-wise. Summing over the
+    //    Galois group isolates N * u_0, whose slots are the single
+    //    real value N*(m + e + q0*I_0) with integer I_0. The N factor
+    //    is folded into the scale (exact).
+    auto &S = *scheme_;
+    const uint32_t logN = log2Exact(ctx->n());
+    for (uint32_t k = logN; k >= 1; --k)
+        raised = S.add(raised, S.applyGalois(raised, (1ULL << k) + 1));
+
+    // 3. Reduce angle: p = 2*pi*(u_0/q0) / 2^r. The 1/N from the
+    // trace is folded into the constant (folding it into the scale
+    // would compound through the squarings and overflow).
+    const double factor =
+        2.0 * std::numbers::pi / ((double)(1 << r) * ctx->n());
+    Ciphertext y = S.rescale(S.mulConst(raised, factor));
+
+    // 4. Sine evaluation + doublings.
+    Ciphertext sin_u = evalSinePoly(y);
+
+    // 5. slots = (q0 / (2*pi*Δ)) * sin(2*pi*u/q0): dividing by the
+    //    input scale here makes the output carry the slot values
+    //    directly at its tracked scale.
+    Ciphertext out = S.rescale(S.mulConst(
+        sin_u, static_cast<double>(q0) /
+                   (2.0 * std::numbers::pi * ct.scale)));
+    return out;
+}
+
+} // namespace f1

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ciphertext representation shared by BGV and CKKS: a pair of RNS
+ * polynomials (c0, c1) with Dec(ct) = c0 + c1*s, plus bookkeeping the
+ * schemes need (level, noise estimate, CKKS scale, BGV plaintext
+ * correction factor accumulated by modulus switching).
+ */
+#ifndef F1_FHE_CIPHERTEXT_H
+#define F1_FHE_CIPHERTEXT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "poly/rns_poly.h"
+
+namespace f1 {
+
+struct Ciphertext
+{
+    std::vector<RnsPoly> polys; //!< usually {c0, c1}; 3 mid-multiply
+
+    /** Number of RNS residues currently carried. */
+    size_t level() const { return polys.empty() ? 0 : polys[0].levels(); }
+
+    /**
+     * Conservative estimate of log2 of the noise magnitude. Decryption
+     * is expected to succeed while noiseBits < logQ(level) - 1; the
+     * noise-tracker tests validate conservativeness.
+     */
+    double noiseBits = 0;
+
+    /** CKKS: current scale Δ of the encoded plaintext. */
+    double scale = 0;
+
+    /**
+     * BGV: multiplicative plaintext correction mod t. Modulus switching
+     * by q divides the plaintext by q (mod t); decryption multiplies by
+     * this factor to undo it. Starts at 1.
+     */
+    uint64_t ptCorrection = 1;
+};
+
+} // namespace f1
+
+#endif // F1_FHE_CIPHERTEXT_H

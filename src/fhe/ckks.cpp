@@ -1,0 +1,279 @@
+#include "fhe/ckks.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace f1 {
+
+CkksScheme::CkksScheme(const FheContext *ctx, KeySwitchVariant variant,
+                       uint64_t seed)
+    : ctx_(ctx), variant_(variant), encoder_(ctx), switcher_(ctx),
+      rng_(seed), sk_(switcher_.keyGen(rng_)),
+      sSquared_(sk_.s.mul(sk_.s))
+{
+}
+
+void
+CkksScheme::adoptKey(const SecretKey &sk)
+{
+    sk_ = sk;
+    sSquared_ = sk_.s.mul(sk_.s);
+    relinHints_.clear();
+    galoisHints_.clear();
+}
+
+Ciphertext
+CkksScheme::freshCiphertext(const RnsPoly &m, double scale)
+{
+    const size_t level = m.levels();
+    RnsPoly c1 = RnsPoly::uniform(ctx_->polyContext(), level, rng_);
+    RnsPoly c0 = m + ctx_->sampleError(level, rng_);
+    c0 -= c1.mul(sk_.s.restricted(level));
+
+    Ciphertext ct;
+    ct.polys.push_back(std::move(c0));
+    ct.polys.push_back(std::move(c1));
+    ct.scale = scale;
+    ct.noiseBits = 0.5 * std::log2((double)ctx_->n()) + 4.0;
+    return ct;
+}
+
+Ciphertext
+CkksScheme::encrypt(std::span<const std::complex<double>> slots,
+                    size_t level)
+{
+    return freshCiphertext(
+        encoder_.encode(slots, defaultScale(), level), defaultScale());
+}
+
+Ciphertext
+CkksScheme::encryptReal(std::span<const double> slots, size_t level)
+{
+    std::vector<std::complex<double>> c(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i)
+        c[i] = {slots[i], 0.0};
+    return encrypt(c, level);
+}
+
+Ciphertext
+CkksScheme::encryptPoly(const RnsPoly &m, double scale)
+{
+    return freshCiphertext(m, scale);
+}
+
+std::vector<std::complex<double>>
+CkksScheme::decrypt(const Ciphertext &ct) const
+{
+    F1_CHECK(ct.polys.size() == 2, "decrypting non-relinearized ct");
+    RnsPoly phase = ct.polys[0];
+    phase += ct.polys[1].mul(sk_.s.restricted(ct.level()));
+    return encoder_.decode(phase, ct.scale);
+}
+
+Ciphertext
+CkksScheme::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    F1_CHECK(a.level() == b.level(), "level mismatch in add");
+    // Primes are only approximately equal to the scale, so rescaled
+    // operands drift; deep circuits (bootstrapping) compound it to a
+    // few percent. The mismatch perturbs the smaller addend by the
+    // drift fraction, which stays below our precision targets; reject
+    // only gross mismatches (wrong-scale operands).
+    F1_CHECK(std::abs(a.scale - b.scale) <=
+                 0.15 * std::max(a.scale, b.scale),
+             "scale mismatch in CKKS add: " << a.scale << " vs "
+             << b.scale);
+    Ciphertext out = a;
+    for (size_t i = 0; i < out.polys.size(); ++i)
+        out.polys[i] += b.polys[i];
+    out.noiseBits = std::max(a.noiseBits, b.noiseBits) + 1.0;
+    return out;
+}
+
+Ciphertext
+CkksScheme::sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    F1_CHECK(a.level() == b.level(), "level mismatch in sub");
+    Ciphertext out = a;
+    for (size_t i = 0; i < out.polys.size(); ++i)
+        out.polys[i] -= b.polys[i];
+    out.noiseBits = std::max(a.noiseBits, b.noiseBits) + 1.0;
+    return out;
+}
+
+const KeySwitchHint &
+CkksScheme::relinHint(size_t level)
+{
+    auto it = relinHints_.find(level);
+    if (it == relinHints_.end()) {
+        it = relinHints_
+                 .emplace(level, switcher_.makeHint(sSquared_, sk_, level,
+                                                    1, variant_, rng_))
+                 .first;
+    }
+    return it->second;
+}
+
+const KeySwitchHint &
+CkksScheme::galoisHint(uint64_t g, size_t level)
+{
+    auto key = std::make_pair(g, level);
+    auto it = galoisHints_.find(key);
+    if (it == galoisHints_.end()) {
+        RnsPoly sg = sk_.s.automorphism(g);
+        it = galoisHints_
+                 .emplace(key, switcher_.makeHint(sg, sk_, level, 1,
+                                                  variant_, rng_))
+                 .first;
+    }
+    return it->second;
+}
+
+Ciphertext
+CkksScheme::mul(const Ciphertext &a, const Ciphertext &b)
+{
+    F1_CHECK(a.level() == b.level(), "level mismatch in mul");
+    const size_t level = a.level();
+
+    RnsPoly l0 = a.polys[0].mul(b.polys[0]);
+    RnsPoly l1 = a.polys[0].mul(b.polys[1]);
+    l1 += a.polys[1].mul(b.polys[0]);
+    RnsPoly l2 = a.polys[1].mul(b.polys[1]);
+
+    auto [u0, u1] = switcher_.apply(l2, relinHint(level), 1);
+
+    Ciphertext out;
+    out.polys.push_back(l0 + u0);
+    out.polys.push_back(l1 + u1);
+    out.scale = a.scale * b.scale;
+    out.noiseBits = a.noiseBits + b.noiseBits +
+                    0.5 * std::log2((double)ctx_->n()) + 2.0;
+    return out;
+}
+
+Ciphertext
+CkksScheme::mulPlain(const Ciphertext &a,
+                     std::span<const std::complex<double>> slots) const
+{
+    RnsPoly pt = encoder_.encode(slots, defaultScale(), a.level());
+    Ciphertext out = a;
+    for (auto &p : out.polys)
+        p.mulEq(pt);
+    out.scale = a.scale * defaultScale();
+    out.noiseBits = a.noiseBits + std::log2(defaultScale()) + 1.0;
+    return out;
+}
+
+Ciphertext
+CkksScheme::mulConst(const Ciphertext &a, double c) const
+{
+    RnsPoly pt =
+        encoder_.encodeConstant(c, defaultScale(), a.level());
+    Ciphertext out = a;
+    for (auto &p : out.polys)
+        p.mulEq(pt);
+    out.scale = a.scale * defaultScale();
+    out.noiseBits = a.noiseBits + std::log2(defaultScale()) + 1.0;
+    return out;
+}
+
+Ciphertext
+CkksScheme::mulConstAtScale(const Ciphertext &a, double c,
+                            double encodeScale) const
+{
+    F1_CHECK(encodeScale > 1.0, "encode scale too small to quantize");
+    RnsPoly pt = encoder_.encodeConstant(c, encodeScale, a.level());
+    Ciphertext out = a;
+    for (auto &p : out.polys)
+        p.mulEq(pt);
+    out.scale = a.scale * encodeScale;
+    out.noiseBits = a.noiseBits + std::log2(encodeScale) + 1.0;
+    return out;
+}
+
+Ciphertext
+CkksScheme::addPlain(const Ciphertext &a,
+                     std::span<const std::complex<double>> slots) const
+{
+    RnsPoly pt = encoder_.encode(slots, a.scale, a.level());
+    Ciphertext out = a;
+    out.polys[0] += pt;
+    out.noiseBits = a.noiseBits + 0.5;
+    return out;
+}
+
+Ciphertext
+CkksScheme::addConst(const Ciphertext &a, double c) const
+{
+    RnsPoly pt = encoder_.encodeConstant(c, a.scale, a.level());
+    Ciphertext out = a;
+    out.polys[0] += pt;
+    out.noiseBits = a.noiseBits + 0.5;
+    return out;
+}
+
+Ciphertext
+CkksScheme::rescale(const Ciphertext &a) const
+{
+    F1_CHECK(a.level() >= 2, "cannot rescale below level 1");
+    Ciphertext out = a;
+    const uint32_t dropped = ctx_->ciphertextPrime(a.level() - 1);
+    for (auto &p : out.polys)
+        dropLastModulusRounded(p, 1);
+    out.scale = a.scale / static_cast<double>(dropped);
+    out.noiseBits =
+        std::max(a.noiseBits - std::log2((double)dropped), 4.0) + 1.0;
+    return out;
+}
+
+Ciphertext
+CkksScheme::negate(const Ciphertext &a) const
+{
+    Ciphertext out = a;
+    for (auto &p : out.polys)
+        p.negate();
+    return out;
+}
+
+Ciphertext
+CkksScheme::modDownTo(const Ciphertext &a, size_t level) const
+{
+    F1_CHECK(level >= 1 && level <= a.level(),
+             "modDownTo target out of range");
+    Ciphertext out = a;
+    for (auto &p : out.polys)
+        while (p.levels() > level)
+            p.dropLastResidue();
+    return out;
+}
+
+Ciphertext
+CkksScheme::applyGalois(const Ciphertext &a, uint64_t g)
+{
+    const size_t level = a.level();
+    RnsPoly c0 = a.polys[0].automorphism(g);
+    RnsPoly c1 = a.polys[1].automorphism(g);
+    auto [u0, u1] = switcher_.apply(c1, galoisHint(g, level), 1);
+
+    Ciphertext out;
+    out.polys.push_back(c0 + u0);
+    out.polys.push_back(std::move(u1));
+    out.scale = a.scale;
+    out.noiseBits = a.noiseBits + 1.0;
+    return out;
+}
+
+Ciphertext
+CkksScheme::rotate(const Ciphertext &a, int64_t r)
+{
+    return applyGalois(a, encoder_.slotOrder().rotationGalois(r));
+}
+
+Ciphertext
+CkksScheme::conjugate(const Ciphertext &a)
+{
+    return applyGalois(a, encoder_.slotOrder().conjugationGalois());
+}
+
+} // namespace f1

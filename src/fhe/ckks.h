@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The CKKS approximate FHE scheme (paper §2.5): fixed-point arithmetic
+ * on N/2 complex slots with explicit rescaling. Shares the ciphertext
+ * layout and key-switching machinery with BGV; errors enter unscaled
+ * (errorScale = 1) and accuracy is managed through the scale Δ.
+ */
+#ifndef F1_FHE_CKKS_H
+#define F1_FHE_CKKS_H
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fhe/ciphertext.h"
+#include "fhe/encoder.h"
+#include "fhe/fhe_context.h"
+#include "fhe/keyswitch.h"
+
+namespace f1 {
+
+class CkksScheme
+{
+  public:
+    CkksScheme(const FheContext *ctx,
+               KeySwitchVariant variant = KeySwitchVariant::kDigitLxL,
+               uint64_t seed = 9);
+
+    void adoptKey(const SecretKey &sk);
+
+    const FheContext *context() const { return ctx_; }
+    const CkksEncoder &encoder() const { return encoder_; }
+    double defaultScale() const { return ctx_->ckksScale(); }
+    const SecretKey &secretKey() const { return sk_; }
+    KeySwitchVariant variant() const { return variant_; }
+
+    /** Encrypts N/2 complex slots at the default scale. */
+    Ciphertext encrypt(std::span<const std::complex<double>> slots,
+                       size_t level);
+
+    /** Encrypts real slot values (convenience). */
+    Ciphertext encryptReal(std::span<const double> slots, size_t level);
+
+    /** Encrypts an already-encoded polynomial with explicit scale. */
+    Ciphertext encryptPoly(const RnsPoly &m, double scale);
+
+    std::vector<std::complex<double>> decrypt(const Ciphertext &ct) const;
+
+    //
+    // Homomorphic operations
+    //
+
+    Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
+    Ciphertext sub(const Ciphertext &a, const Ciphertext &b) const;
+
+    /** Tensor + relinearize; output scale = scale_a * scale_b. */
+    Ciphertext mul(const Ciphertext &a, const Ciphertext &b);
+
+    /** Multiply by encoded plaintext slots (scale multiplies). */
+    Ciphertext mulPlain(const Ciphertext &a,
+                        std::span<const std::complex<double>> slots) const;
+
+    /** Multiply every slot by a real constant (scale multiplies). */
+    Ciphertext mulConst(const Ciphertext &a, double c) const;
+
+    /**
+     * Multiply by a constant encoded at an explicit scale. Deep
+     * circuits use this for exact scale alignment before additions:
+     * choosing encodeScale = target * q_dropped / a.scale makes the
+     * post-rescale result land exactly on `target`.
+     */
+    Ciphertext mulConstAtScale(const Ciphertext &a, double c,
+                               double encodeScale) const;
+
+    /** Add a real constant to every slot (encoded at a's scale). */
+    Ciphertext addConst(const Ciphertext &a, double c) const;
+
+    /** Add plaintext slots (encoded at a's scale). */
+    Ciphertext addPlain(const Ciphertext &a,
+                        std::span<const std::complex<double>> slots)
+        const;
+
+    /** Drop one prime, dividing the scale by it (paper §2.2.2). */
+    Ciphertext rescale(const Ciphertext &a) const;
+
+    /** Negate all slots. */
+    Ciphertext negate(const Ciphertext &a) const;
+
+    /**
+     * Drops residues without scaling (plain modulus reduction) so two
+     * operands reach a common level before add/mul. Scale unchanged.
+     */
+    Ciphertext modDownTo(const Ciphertext &a, size_t level) const;
+
+    /** Slot rotation by r. */
+    Ciphertext rotate(const Ciphertext &a, int64_t r);
+
+    /** Complex conjugation of every slot. */
+    Ciphertext conjugate(const Ciphertext &a);
+
+    /** Applies σ_g for a raw Galois element (trace computations). */
+    Ciphertext applyGalois(const Ciphertext &a, uint64_t g);
+
+    const KeySwitchHint &relinHint(size_t level);
+    const KeySwitchHint &galoisHint(uint64_t g, size_t level);
+
+  private:
+    Ciphertext freshCiphertext(const RnsPoly &m, double scale);
+
+    const FheContext *ctx_;
+    KeySwitchVariant variant_;
+    CkksEncoder encoder_;
+    KeySwitcher switcher_;
+    mutable Rng rng_;
+    SecretKey sk_;
+    RnsPoly sSquared_;
+    std::map<size_t, KeySwitchHint> relinHints_;
+    std::map<std::pair<uint64_t, size_t>, KeySwitchHint> galoisHints_;
+};
+
+} // namespace f1
+
+#endif // F1_FHE_CKKS_H

@@ -1,0 +1,93 @@
+#include "fhe/fhe_context.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "modular/primes.h"
+
+namespace f1 {
+
+FheContext::FheContext(const FheParams &params) : params_(params)
+{
+    F1_REQUIRE(params.maxLevel >= 1, "need at least one level");
+    auto cipher = generateNttPrimes(params.maxLevel, params.primeBits,
+                                    params.n);
+    std::vector<uint32_t> all = cipher;
+    if (params.auxCount > 0) {
+        auto aux = generateNttPrimes(params.auxCount, params.primeBits,
+                                     params.n, cipher);
+        all.insert(all.end(), aux.begin(), aux.end());
+    }
+    // One additional special prime for hybrid key-switching.
+    all.push_back(generateNttPrimes(1, params.primeBits, params.n,
+                                    all)[0]);
+    poly_ = std::make_unique<PolyContext>(params.n, all);
+    ckksScale_ = params.ckksScale > 0
+        ? params.ckksScale
+        : static_cast<double>(cipher[0]);
+}
+
+uint32_t
+FheContext::ciphertextPrime(size_t i) const
+{
+    F1_CHECK(i < params_.maxLevel, "ciphertext prime index out of range");
+    return poly_->modulus(i);
+}
+
+uint32_t
+FheContext::auxPrime(size_t k) const
+{
+    F1_CHECK(k < params_.auxCount, "aux prime index out of range");
+    return poly_->modulus(params_.maxLevel + k);
+}
+
+uint32_t
+FheContext::specialPrime() const
+{
+    return poly_->modulus(specialIndex());
+}
+
+double
+FheContext::logQ(size_t level) const
+{
+    double bits = 0;
+    for (size_t i = 0; i < level; ++i)
+        bits += std::log2(static_cast<double>(poly_->modulus(i)));
+    return bits;
+}
+
+// keyGen() in keyswitch.cpp samples over the full chain including the
+// special prime; see FheContext::specialIndex().
+
+RnsPoly
+FheContext::sampleError(size_t levels, Rng &rng) const
+{
+    std::vector<int64_t> e(params_.n);
+    for (auto &x : e)
+        x = rng.sampleCenteredBinomial(params_.errorHammingWeight);
+    return RnsPoly::fromSigned(poly_.get(), levels, e);
+}
+
+RnsPoly
+FheContext::sampleTernary(size_t levels, Rng &rng) const
+{
+    std::vector<int64_t> s(params_.n, 0);
+    if (params_.secretHammingWeight == 0) {
+        for (auto &x : s)
+            x = rng.sampleTernary();
+    } else {
+        // Sparse ternary secret (HEAAN-style): exactly h nonzeros.
+        // Bounds the wrap-around term of CKKS bootstrapping.
+        uint32_t placed = 0;
+        while (placed < params_.secretHammingWeight) {
+            size_t pos = rng.uniform(params_.n);
+            if (s[pos] == 0) {
+                s[pos] = rng.uniform(2) ? 1 : -1;
+                ++placed;
+            }
+        }
+    }
+    return RnsPoly::fromSigned(poly_.get(), levels, s);
+}
+
+} // namespace f1

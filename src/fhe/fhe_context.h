@@ -1,0 +1,87 @@
+/**
+ * @file
+ * FHE parameter context shared by all schemes. Holds the ciphertext
+ * modulus chain (q_0..q_{L-1}), the auxiliary extension primes used by
+ * the GHS-style key-switching variant (p_0..p_{K-1}), and the
+ * polynomial context spanning both.
+ *
+ * Residue indices [0, maxLevel) are ciphertext primes; indices
+ * [maxLevel, maxLevel + auxCount) are the extension primes; the final
+ * index is the key-switching special prime (the hybrid refinement all
+ * RNS FHE libraries apply to Listing 1: hints carry a factor p_sp that
+ * is divided out after accumulation, shrinking key-switch noise by
+ * ~log2(p_sp) bits; see DESIGN.md).
+ */
+#ifndef F1_FHE_FHE_CONTEXT_H
+#define F1_FHE_FHE_CONTEXT_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "poly/rns_poly.h"
+
+namespace f1 {
+
+struct FheParams
+{
+    uint32_t n = 4096;           //!< polynomial degree
+    uint32_t maxLevel = 4;       //!< L: ciphertext primes
+    uint32_t auxCount = 0;       //!< K: extension primes (variant B)
+    uint32_t primeBits = 28;     //!< width of each RNS prime
+    uint64_t plainModulus = 65537; //!< t (BGV); ignored by CKKS
+    double ckksScale = 0;        //!< Δ; 0 = use q_0 as the scale
+    int errorHammingWeight = 16; //!< centered-binomial error parameter
+    uint32_t secretHammingWeight = 0; //!< 0 = dense ternary secret
+    uint64_t seed = 1;           //!< key/error PRNG seed
+};
+
+class FheContext
+{
+  public:
+    explicit FheContext(const FheParams &params);
+
+    const FheParams &params() const { return params_; }
+    const PolyContext *polyContext() const { return poly_.get(); }
+    uint32_t n() const { return params_.n; }
+    uint32_t maxLevel() const { return params_.maxLevel; }
+    uint32_t auxCount() const { return params_.auxCount; }
+    uint64_t plainModulus() const { return params_.plainModulus; }
+
+    /** Scale used by CKKS (defaults to the magnitude of q_0). */
+    double ckksScale() const { return ckksScale_; }
+
+    /** Ciphertext prime i (i < maxLevel). */
+    uint32_t ciphertextPrime(size_t i) const;
+
+    /** Extension prime k (k < auxCount). */
+    uint32_t auxPrime(size_t k) const;
+
+    /** Chain index of the key-switching special prime (last). */
+    size_t specialIndex() const
+    {
+        return params_.maxLevel + params_.auxCount;
+    }
+    uint32_t specialPrime() const;
+
+    /** log2 of the ciphertext modulus at `level` primes. */
+    double logQ(size_t level) const;
+
+    /**
+     * Samples a fresh error polynomial (centered binomial) over the
+     * first `levels` residues, in the NTT domain.
+     */
+    RnsPoly sampleError(size_t levels, Rng &rng) const;
+
+    /** Samples a ternary polynomial over `levels` residues (NTT). */
+    RnsPoly sampleTernary(size_t levels, Rng &rng) const;
+
+  private:
+    FheParams params_;
+    std::unique_ptr<PolyContext> poly_;
+    double ckksScale_;
+};
+
+} // namespace f1
+
+#endif // F1_FHE_FHE_CONTEXT_H

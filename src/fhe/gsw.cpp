@@ -1,0 +1,106 @@
+#include "fhe/gsw.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "modular/modarith.h"
+
+namespace f1 {
+
+GswScheme::GswScheme(BgvScheme *bgv) : bgv_(bgv), ctx_(bgv->context()) {}
+
+RlwePrime
+GswScheme::encryptRlwePrime(const RnsPoly &w, size_t level)
+{
+    // Identical structure to the digit key-switch hint: digit i's phase
+    // carries P_i * w, with P_i ≡ δ_ij (mod q_j).
+    const PolyContext *pc = ctx_->polyContext();
+    const uint64_t t = bgv_->plainModulus();
+    Rng rng(0x65370000 ^ level); // deterministic per level
+    const RnsPoly s = bgv_->secretKey().s.restricted(level);
+
+    RlwePrime out;
+    for (size_t i = 0; i < level; ++i) {
+        RnsPoly ai = RnsPoly::uniform(pc, level, rng);
+        RnsPoly bi = ai.mul(s);
+        bi.negate();
+        RnsPoly e = ctx_->sampleError(level, rng);
+        e.mulScalar(t);
+        bi += e;
+        auto bres = bi.residue(i);
+        auto wres = w.residue(i);
+        const uint32_t qi = pc->modulus(i);
+        for (size_t j = 0; j < bres.size(); ++j)
+            bres[j] = addMod(bres[j], wres[j], qi);
+        out.a.push_back(std::move(ai));
+        out.b.push_back(std::move(bi));
+    }
+    return out;
+}
+
+RgswCiphertext
+GswScheme::encryptScalar(uint64_t m, size_t level)
+{
+    const PolyContext *pc = ctx_->polyContext();
+    // Constant polynomial m.
+    std::vector<int64_t> coeffs(ctx_->n(), 0);
+    coeffs[0] = static_cast<int64_t>(m);
+    RnsPoly mp = RnsPoly::fromSigned(pc, level, coeffs);
+    RnsPoly sm = bgv_->secretKey().s.restricted(level).mul(mp);
+
+    RgswCiphertext out;
+    out.level = level;
+    out.cm = encryptRlwePrime(mp, level);
+    out.csm = encryptRlwePrime(sm, level);
+    return out;
+}
+
+Ciphertext
+GswScheme::externalProduct(const Ciphertext &rlwe,
+                           const RgswCiphertext &rgsw) const
+{
+    F1_CHECK(rlwe.level() == rgsw.level,
+             "level mismatch in external product");
+    const PolyContext *pc = ctx_->polyContext();
+    const size_t level = rlwe.level();
+
+    // Decompose both RLWE components; accumulate
+    //   out = Σ_i d_i(c0) * RLWE'(m)[i] + Σ_i d_i(c1) * RLWE'(sm)[i].
+    auto d0 = digitDecomposeLift(rlwe.polys[0]);
+    auto d1 = digitDecomposeLift(rlwe.polys[1]);
+
+    RnsPoly r0(pc, level, Domain::kNtt);
+    RnsPoly r1(pc, level, Domain::kNtt);
+    for (size_t i = 0; i < level; ++i) {
+        r0 += d0[i].mul(rgsw.cm.b[i]);
+        r1 += d0[i].mul(rgsw.cm.a[i]);
+        r0 += d1[i].mul(rgsw.csm.b[i]);
+        r1 += d1[i].mul(rgsw.csm.a[i]);
+    }
+
+    Ciphertext out;
+    out.polys.push_back(std::move(r0));
+    out.polys.push_back(std::move(r1));
+    // GSW asymmetry: the RLWE noise passes through scaled by m (a small
+    // scalar), plus an additive digit term independent of the RLWE
+    // noise.
+    out.noiseBits =
+        std::max(rlwe.noiseBits,
+                 std::log2((double)bgv_->plainModulus()) +
+                     ctx_->params().primeBits +
+                     0.5 * std::log2((double)level * ctx_->n()) + 4.0) +
+        1.0;
+    out.ptCorrection = rlwe.ptCorrection;
+    return out;
+}
+
+Ciphertext
+GswScheme::cmux(const RgswCiphertext &bit, const Ciphertext &ct0,
+                const Ciphertext &ct1) const
+{
+    Ciphertext diff = bgv_->sub(ct1, ct0);
+    Ciphertext sel = externalProduct(diff, bit);
+    return bgv_->add(ct0, sel);
+}
+
+} // namespace f1

@@ -1,0 +1,438 @@
+#include "fhe/keyswitch.h"
+
+#include "common/error.h"
+#include "fhe/basis_extend.h"
+#include "modular/modarith.h"
+
+namespace f1 {
+
+SecretKey
+KeySwitcher::keyGen(Rng &rng) const
+{
+    return SecretKey{
+        ctx_->sampleTernary(ctx_->polyContext()->chainLength(), rng)};
+}
+
+namespace {
+
+/**
+ * Centered lift of a single coefficient-domain residue (values mod
+ * from_q) into signed integers.
+ */
+std::vector<int64_t>
+centeredLift(std::span<const uint32_t> res, uint32_t from_q)
+{
+    std::vector<int64_t> out(res.size());
+    const uint32_t half = from_q / 2;
+    for (size_t j = 0; j < res.size(); ++j) {
+        out[j] = res[j] > half ? (int64_t)res[j] - from_q
+                               : (int64_t)res[j];
+    }
+    return out;
+}
+
+} // namespace
+
+KeySwitchHint
+KeySwitcher::makeHint(const RnsPoly &w, const SecretKey &sk, size_t level,
+                      uint64_t errorScale, KeySwitchVariant variant,
+                      Rng &rng) const
+{
+    const PolyContext *pc = ctx_->polyContext();
+    KeySwitchHint hint;
+    hint.variant = variant;
+    hint.level = level;
+
+    if (variant == KeySwitchVariant::kDigitLxL) {
+        // Hybrid digit hints: digit i encrypts p_sp * P_i * w, where
+        // P_i is the CRT selector (P_i ≡ δ_ij mod q_j) and p_sp is the
+        // special prime divided out after accumulation. Hints span the
+        // full chain; apply() touches residues {0..level-1, special}.
+        const uint32_t p_sp = ctx_->specialPrime();
+        const size_t chain_len = pc->chainLength();
+        for (size_t i = 0; i < level; ++i) {
+            RnsPoly ai = RnsPoly::uniform(pc, chain_len, rng);
+            RnsPoly bi = ai.mul(sk.s);
+            bi.negate();
+            RnsPoly e = ctx_->sampleError(chain_len, rng);
+            e.mulScalar(errorScale);
+            bi += e;
+            // += p_sp * P_i * w on every residue. With
+            // w_i = [(Q/q_i)^-1 mod q_i] as an integer,
+            // P_i mod m = (Q/q_i mod m) * (w_i mod m).
+            const uint32_t qi = pc->modulus(i);
+            uint64_t qhat_mod_qi = 1;
+            for (size_t j = 0; j < level; ++j)
+                if (j != i)
+                    qhat_mod_qi =
+                        qhat_mod_qi * (pc->modulus(j) % qi) % qi;
+            const uint32_t wi =
+                invMod(static_cast<uint32_t>(qhat_mod_qi), qi);
+            for (size_t r = 0; r < chain_len; ++r) {
+                const uint32_t m = pc->modulus(r);
+                uint64_t qhat = 1;
+                for (size_t j = 0; j < level; ++j)
+                    if (j != i)
+                        qhat = qhat * (pc->modulus(j) % m) % m;
+                uint64_t scalar =
+                    qhat * (wi % m) % m * (p_sp % m) % m;
+                const uint32_t sc = static_cast<uint32_t>(scalar);
+                const uint32_t pre = shoupPrecompute(sc, m);
+                auto bres = bi.residue(r);
+                auto wres = w.residue(r);
+                for (size_t idx = 0; idx < bres.size(); ++idx)
+                    bres[idx] = addMod(
+                        bres[idx],
+                        mulModShoup(wres[idx], sc, pre, m), m);
+            }
+            hint.a.push_back(std::move(ai));
+            hint.b.push_back(std::move(bi));
+        }
+        hint.usedRVecs = 2 * level * (level + 1);
+        return hint;
+    }
+
+    // Variant B: single pair over the extended basis Q*P encrypting
+    // P * w (P = product of aux primes, so P ≡ 0 mod every aux prime).
+    const size_t aux = ctx_->auxCount();
+    F1_REQUIRE(aux >= level,
+               "GHS key-switching needs P >= Q: auxCount ("
+               << aux << ") must cover the hint level (" << level
+               << ")");
+    const size_t chain_len = pc->chainLength();
+    F1_CHECK(level <= ctx_->maxLevel(), "level beyond chain");
+
+    // Build an RnsPoly view over residues {0..level-1} ∪ aux block by
+    // using a full-chain poly and zeroing the unused middle: to keep
+    // the data layout simple, hints always span the full chain; apply()
+    // reads the residues it needs.
+    RnsPoly a = RnsPoly::uniform(pc, chain_len, rng);
+    RnsPoly b = a.mul(sk.s);
+    b.negate();
+    RnsPoly e = ctx_->sampleError(chain_len, rng);
+    e.mulScalar(errorScale);
+    b += e;
+    // += P * w on ciphertext residues (P ≡ 0 on aux residues).
+    for (size_t j = 0; j < ctx_->maxLevel(); ++j) {
+        const uint32_t qj = pc->modulus(j);
+        uint64_t pmod = 1;
+        for (size_t k = 0; k < aux; ++k)
+            pmod = pmod * (ctx_->auxPrime(k) % qj) % qj;
+        auto bres = b.residue(j);
+        auto wres = w.residue(j);
+        const uint32_t scalar = static_cast<uint32_t>(pmod);
+        const uint32_t pre = shoupPrecompute(scalar, qj);
+        for (size_t idx = 0; idx < bres.size(); ++idx)
+            bres[idx] = addMod(bres[idx],
+                               mulModShoup(wres[idx], scalar, pre, qj),
+                               qj);
+    }
+    hint.a.push_back(std::move(a));
+    hint.b.push_back(std::move(b));
+    hint.usedRVecs = 2 * (level + aux);
+    return hint;
+}
+
+std::pair<RnsPoly, RnsPoly>
+KeySwitcher::apply(const RnsPoly &x, const KeySwitchHint &hint,
+                   uint64_t errorScale) const
+{
+    F1_CHECK(x.domain() == Domain::kNtt, "key-switch input must be NTT");
+    F1_CHECK(x.levels() == hint.level, "hint level mismatch: x has "
+             << x.levels() << ", hint serves " << hint.level);
+    if (hint.variant == KeySwitchVariant::kDigitLxL)
+        return applyDigitScaled(x, hint, errorScale);
+    return applyGhs(x, hint, errorScale);
+}
+
+std::vector<RnsPoly>
+digitDecomposeLift(const RnsPoly &x)
+{
+    F1_CHECK(x.domain() == Domain::kNtt, "decomposition expects NTT");
+    const PolyContext *pc = x.context();
+    const size_t level = x.levels();
+    const uint32_t n = pc->n();
+
+    std::vector<RnsPoly> out;
+    out.reserve(level);
+    std::vector<uint32_t> tmp(n);
+    for (size_t i = 0; i < level; ++i) {
+        // Digit i: residue i of x, taken to coefficient form and
+        // center-lifted into every modulus (Listing 1 lines 3 and 8).
+        std::vector<uint32_t> yi(x.residue(i).begin(),
+                                 x.residue(i).end());
+        pc->tables(i).inverse(yi);
+        auto lifted = centeredLift(yi, pc->modulus(i));
+
+        RnsPoly xt(pc, level, Domain::kNtt);
+        for (size_t j = 0; j < level; ++j) {
+            if (j == i) {
+                // Already have this residue in NTT form.
+                std::copy(x.residue(i).begin(), x.residue(i).end(),
+                          xt.residue(j).begin());
+                continue;
+            }
+            const uint32_t qj = pc->modulus(j);
+            for (size_t idx = 0; idx < n; ++idx) {
+                int64_t v = lifted[idx] % (int64_t)qj;
+                if (v < 0)
+                    v += qj;
+                tmp[idx] = static_cast<uint32_t>(v);
+            }
+            pc->tables(j).forward(tmp);
+            std::copy(tmp.begin(), tmp.end(), xt.residue(j).begin());
+        }
+        out.push_back(std::move(xt));
+    }
+    return out;
+}
+
+std::pair<RnsPoly, RnsPoly>
+KeySwitcher::applyDigitScaled(const RnsPoly &x, const KeySwitchHint &hint,
+                              uint64_t errorScale) const
+{
+    const PolyContext *pc = ctx_->polyContext();
+    const size_t level = hint.level;
+    const size_t sp = ctx_->specialIndex();
+    const uint32_t p_sp = ctx_->specialPrime();
+    const uint32_t n = pc->n();
+
+    // Accumulators over level cipher residues + the special residue.
+    std::vector<uint32_t> acc0((level + 1) * n, 0);
+    std::vector<uint32_t> acc1((level + 1) * n, 0);
+
+    std::vector<uint32_t> tmp(n);
+    for (size_t i = 0; i < level; ++i) {
+        // Digit i in coefficient form, center-lifted.
+        std::vector<uint32_t> yi(x.residue(i).begin(),
+                                 x.residue(i).end());
+        pc->tables(i).inverse(yi);
+        auto lifted = centeredLift(yi, pc->modulus(i));
+
+        // Multiply-accumulate against hint digit i over each track.
+        for (size_t track = 0; track <= level; ++track) {
+            const size_t ridx = track < level ? track : sp;
+            const uint32_t m = pc->modulus(ridx);
+            const uint32_t *xt;
+            if (track == i) {
+                xt = x.residue(i).data();
+            } else {
+                for (size_t idx = 0; idx < n; ++idx) {
+                    int64_t v = lifted[idx] % (int64_t)m;
+                    if (v < 0)
+                        v += m;
+                    tmp[idx] = static_cast<uint32_t>(v);
+                }
+                pc->tables(ridx).forward(tmp);
+                xt = tmp.data();
+            }
+            auto ha = hint.a[i].residue(ridx);
+            auto hb = hint.b[i].residue(ridx);
+            uint32_t *o0 = acc0.data() + track * n;
+            uint32_t *o1 = acc1.data() + track * n;
+            for (size_t idx = 0; idx < n; ++idx) {
+                o1[idx] = addMod(o1[idx],
+                                 mulMod(xt[idx], ha[idx], m), m);
+                o0[idx] = addMod(o0[idx],
+                                 mulMod(xt[idx], hb[idx], m), m);
+            }
+        }
+    }
+
+    // Divide both accumulators by p_sp with errorScale-adjusted
+    // rounding (δ ≡ acc mod p_sp, δ ≡ 0 mod errorScale), the hybrid
+    // step that shrinks key-switch noise by ~log2(p_sp) bits.
+    auto scaleDown = [&](std::vector<uint32_t> &acc) {
+        std::span<uint32_t> spTrack(acc.data() + level * n, n);
+        pc->tables(sp).inverse(spTrack);
+        if (errorScale != 1) {
+            const uint32_t tinv = invMod(
+                static_cast<uint32_t>(errorScale % p_sp), p_sp);
+            const uint32_t pre = shoupPrecompute(tinv, p_sp);
+            for (auto &v : spTrack)
+                v = mulModShoup(v, tinv, pre, p_sp);
+        }
+        std::vector<int64_t> delta(n);
+        const uint32_t half = p_sp / 2;
+        for (size_t idx = 0; idx < n; ++idx) {
+            int64_t d = spTrack[idx] > half
+                            ? (int64_t)spTrack[idx] - p_sp
+                            : (int64_t)spTrack[idx];
+            delta[idx] = d * static_cast<int64_t>(errorScale);
+        }
+        RnsPoly result(pc, level, Domain::kNtt);
+        RnsPoly dpoly =
+            RnsPoly::fromSigned(pc, level, delta, Domain::kNtt);
+        for (size_t j = 0; j < level; ++j) {
+            const uint32_t q = pc->modulus(j);
+            const uint32_t pinv = invMod(p_sp % q, q);
+            const uint32_t pre = shoupPrecompute(pinv, q);
+            auto out = result.residue(j);
+            auto dres = dpoly.residue(j);
+            const uint32_t *in = acc.data() + j * n;
+            for (size_t idx = 0; idx < n; ++idx) {
+                uint32_t diff = subMod(in[idx], dres[idx], q);
+                out[idx] = mulModShoup(diff, pinv, pre, q);
+            }
+        }
+        return result;
+    };
+
+    RnsPoly u0 = scaleDown(acc0);
+    RnsPoly u1 = scaleDown(acc1);
+    return {std::move(u0), std::move(u1)};
+}
+
+std::pair<RnsPoly, RnsPoly>
+KeySwitcher::applyGhs(const RnsPoly &x, const KeySwitchHint &hint,
+                      uint64_t errorScale) const
+{
+    const PolyContext *pc = ctx_->polyContext();
+    const size_t level = hint.level;
+    const size_t aux = ctx_->auxCount();
+    const size_t aux_base = ctx_->maxLevel();
+    const uint32_t n = pc->n();
+
+    // 1. Extend x from {q_0..q_{level-1}} to the aux basis.
+    std::vector<size_t> src(level), dst(aux);
+    for (size_t i = 0; i < level; ++i)
+        src[i] = i;
+    for (size_t k = 0; k < aux; ++k)
+        dst[k] = aux_base + k;
+    BasisExtender up(pc, src, dst);
+
+    std::vector<uint32_t> coeff(level * n);
+    for (size_t i = 0; i < level; ++i) {
+        std::copy(x.residue(i).begin(), x.residue(i).end(),
+                  coeff.begin() + i * n);
+        std::span<uint32_t> row(coeff.data() + i * n, n);
+        pc->tables(i).inverse(row);
+    }
+    std::vector<uint32_t> ext(aux * n);
+    up.extend(coeff, n, ext);
+
+    // 2. Pointwise multiply by the hint over level + aux residues.
+    //    Work on two tracks: ciphertext residues (from x, NTT) and aux
+    //    residues (extended, NTT after transform).
+    auto mulTrack = [&](const RnsPoly &h) {
+        // Returns {cipherResidues(level), auxResidues(aux)} both NTT.
+        std::vector<uint32_t> cres(level * n), ares(aux * n);
+        for (size_t i = 0; i < level; ++i) {
+            const uint32_t q = pc->modulus(i);
+            auto hx = h.residue(i);
+            auto xr = x.residue(i);
+            for (size_t idx = 0; idx < n; ++idx)
+                cres[i * n + idx] = mulMod(xr[idx], hx[idx], q);
+        }
+        for (size_t k = 0; k < aux; ++k) {
+            const uint32_t p = pc->modulus(aux_base + k);
+            std::vector<uint32_t> t(ext.begin() + k * n,
+                                    ext.begin() + (k + 1) * n);
+            pc->tables(aux_base + k).forward(t);
+            auto hx = h.residue(aux_base + k);
+            for (size_t idx = 0; idx < n; ++idx)
+                ares[k * n + idx] = mulMod(t[idx], hx[idx], p);
+        }
+        return std::make_pair(std::move(cres), std::move(ares));
+    };
+
+    auto [c1, a1] = mulTrack(hint.a[0]);
+    auto [c0, a0] = mulTrack(hint.b[0]);
+
+    // 3. Divide by P with rounding: c' = (c - δ)/P where δ ≡ c (mod P)
+    //    and δ ≡ 0 (mod errorScale).
+    BasisExtender down(pc, dst, src);
+    const uint64_t t_adj = errorScale;
+
+    auto scaleDown = [&](std::vector<uint32_t> &cres,
+                         std::vector<uint32_t> &ares) {
+        // Aux residues to coefficient form.
+        for (size_t k = 0; k < aux; ++k) {
+            std::span<uint32_t> row(ares.data() + k * n, n);
+            pc->tables(aux_base + k).inverse(row);
+            if (t_adj != 1) {
+                // u = δ0 * t^-1 (mod P), residue-wise.
+                const uint32_t p = pc->modulus(aux_base + k);
+                const uint32_t tinv =
+                    invMod(static_cast<uint32_t>(t_adj % p), p);
+                const uint32_t pre = shoupPrecompute(tinv, p);
+                for (auto &v : row)
+                    v = mulModShoup(v, tinv, pre, p);
+            }
+        }
+        // Extend u to the ciphertext basis; δ = t * u.
+        std::vector<uint32_t> delta(level * n);
+        down.extend(ares, n, delta);
+
+        RnsPoly result(pc, level, Domain::kNtt);
+        for (size_t i = 0; i < level; ++i) {
+            const uint32_t q = pc->modulus(i);
+            std::span<uint32_t> d(delta.data() + i * n, n);
+            if (t_adj != 1) {
+                const uint32_t ts = static_cast<uint32_t>(t_adj % q);
+                const uint32_t pre = shoupPrecompute(ts, q);
+                for (auto &v : d)
+                    v = mulModShoup(v, ts, pre, q);
+            }
+            pc->tables(i).forward(d);
+            // (c - δ) * P^-1 mod q.
+            uint64_t pmod = 1;
+            for (size_t k = 0; k < aux; ++k)
+                pmod = pmod * (pc->modulus(aux_base + k) % q) % q;
+            const uint32_t pinv =
+                invMod(static_cast<uint32_t>(pmod), q);
+            const uint32_t pre = shoupPrecompute(pinv, q);
+            auto out = result.residue(i);
+            for (size_t idx = 0; idx < n; ++idx) {
+                uint32_t diff = subMod(cres[i * n + idx], d[idx], q);
+                out[idx] = mulModShoup(diff, pinv, pre, q);
+            }
+        }
+        return result;
+    };
+
+    RnsPoly u0 = scaleDown(c0, a0);
+    RnsPoly u1 = scaleDown(c1, a1);
+    return {std::move(u0), std::move(u1)};
+}
+
+void
+dropLastModulusRounded(RnsPoly &p, uint64_t tAdjust)
+{
+    F1_CHECK(p.domain() == Domain::kNtt, "expected NTT domain");
+    F1_CHECK(p.levels() >= 2, "cannot drop below one residue");
+    const PolyContext *pc = p.context();
+    const size_t last = p.levels() - 1;
+    const uint32_t q_last = pc->modulus(last);
+    const uint32_t n = pc->n();
+
+    // Last residue to coefficient form.
+    std::vector<uint32_t> y(p.residue(last).begin(),
+                            p.residue(last).end());
+    pc->tables(last).inverse(y);
+
+    // d = y * t^-1 mod q_last (t-adjusted rounding), centered; δ = t*d.
+    if (tAdjust != 1) {
+        const uint32_t tinv = invMod(
+            static_cast<uint32_t>(tAdjust % q_last), q_last);
+        const uint32_t pre = shoupPrecompute(tinv, q_last);
+        for (auto &v : y)
+            v = mulModShoup(v, tinv, pre, q_last);
+    }
+    std::vector<int64_t> delta(n);
+    const uint32_t half = q_last / 2;
+    for (size_t j = 0; j < n; ++j) {
+        int64_t d = y[j] > half ? (int64_t)y[j] - q_last : (int64_t)y[j];
+        delta[j] = d * static_cast<int64_t>(tAdjust);
+    }
+
+    RnsPoly dpoly = RnsPoly::fromSigned(pc, last, delta, Domain::kNtt);
+    p.dropLastResidue();
+    p -= dpoly;
+    std::vector<uint32_t> scal(last);
+    for (size_t i = 0; i < last; ++i)
+        scal[i] = invMod(q_last % pc->modulus(i), pc->modulus(i));
+    p.mulScalarPerResidue(scal);
+}
+
+} // namespace f1

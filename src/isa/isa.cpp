@@ -1,0 +1,61 @@
+#include "isa/isa.h"
+
+namespace f1 {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::kNtt:
+        return "ntt";
+      case Opcode::kIntt:
+        return "intt";
+      case Opcode::kAut:
+        return "aut";
+      case Opcode::kMul:
+        return "mul";
+      case Opcode::kAdd:
+        return "add";
+      case Opcode::kSub:
+        return "sub";
+      case Opcode::kLoad:
+        return "load";
+      case Opcode::kStore:
+        return "store";
+    }
+    return "?";
+}
+
+std::vector<size_t>
+Dfg::opHistogram() const
+{
+    std::vector<size_t> h(8, 0);
+    for (const auto &ins : instrs)
+        h[static_cast<size_t>(ins.op)]++;
+    return h;
+}
+
+void
+Dfg::validate() const
+{
+    std::vector<bool> defined(values.size(), false);
+    for (size_t v = 0; v < values.size(); ++v) {
+        // Off-chip values (inputs, hints) are born defined.
+        if (values[v].producer == UINT32_MAX)
+            defined[v] = true;
+    }
+    for (const auto &ins : instrs) {
+        for (ValueId src : {ins.src0, ins.src1}) {
+            if (src != kNoValue)
+                F1_CHECK(defined[src], "use before def of value " << src);
+        }
+        if (ins.dst != kNoValue) {
+            F1_CHECK(!defined[ins.dst] ||
+                         values[ins.dst].producer == UINT32_MAX,
+                     "double definition of value " << ins.dst);
+            defined[ins.dst] = true;
+        }
+    }
+}
+
+} // namespace f1

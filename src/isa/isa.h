@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The F1 instruction set at residue-vector (RVec) granularity.
+ *
+ * F1 compiles FHE programs into linear streams of vector instructions
+ * over N-element residue polynomials (paper §3 "Distributed control").
+ * Each instruction reads up to two RVec operands and produces one RVec
+ * result; loads and stores move RVecs between HBM and the scratchpad.
+ * There is no control flow: programs are dataflow graphs with all
+ * dependences known at compile time.
+ */
+#ifndef F1_ISA_ISA_H
+#define F1_ISA_ISA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace f1 {
+
+enum class Opcode : uint8_t {
+    kNtt,   //!< forward NTT (NTT FU)
+    kIntt,  //!< inverse NTT (NTT FU)
+    kAut,   //!< automorphism (automorphism FU)
+    kMul,   //!< element-wise modular multiply (multiplier FU)
+    kAdd,   //!< element-wise modular add (adder FU)
+    kSub,   //!< element-wise modular subtract (adder FU)
+    kLoad,  //!< HBM -> scratchpad
+    kStore, //!< scratchpad -> HBM
+};
+
+const char *opcodeName(Opcode op);
+
+/** True for opcodes executed on compute-cluster functional units. */
+inline bool
+isCompute(Opcode op)
+{
+    return op != Opcode::kLoad && op != Opcode::kStore;
+}
+
+/** Functional unit classes within a compute cluster. */
+enum class FuType : uint8_t { kNtt, kAut, kMul, kAdd };
+
+/** FU class executing a compute opcode. */
+inline FuType
+fuFor(Opcode op)
+{
+    switch (op) {
+      case Opcode::kNtt:
+      case Opcode::kIntt:
+        return FuType::kNtt;
+      case Opcode::kAut:
+        return FuType::kAut;
+      case Opcode::kMul:
+        return FuType::kMul;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+        return FuType::kAdd;
+      default:
+        F1_PANIC("no FU for memory opcode");
+    }
+}
+
+using ValueId = uint32_t;
+using InstrId = uint32_t;
+constexpr ValueId kNoValue = UINT32_MAX;
+
+/** Provenance classes for traffic accounting (paper Fig. 9a). */
+enum class ValueKind : uint8_t {
+    kInput,        //!< program input ciphertext/plaintext
+    kKsh,          //!< key-switch hint
+    kIntermediate, //!< produced by an instruction
+    kOutput,       //!< program output
+};
+
+struct ValueInfo
+{
+    ValueKind kind = ValueKind::kIntermediate;
+    /** For kKsh: identifies the hint this RVec belongs to, so the
+     *  scheduler can maximize reuse across homomorphic ops (§4.2). */
+    int32_t hintId = -1;
+    InstrId producer = UINT32_MAX; //!< kNoInstr for off-chip values
+};
+
+struct Instruction
+{
+    Opcode op;
+    ValueId dst = kNoValue;
+    ValueId src0 = kNoValue;
+    ValueId src1 = kNoValue; //!< kNoValue for unary ops
+    /** Priority reflecting global order from phase 1 (§4.2); lower =
+     *  earlier. */
+    uint32_t priority = 0;
+};
+
+/**
+ * Instruction-level dataflow graph: the output of the homomorphic
+ * operation compiler (§4.2) and the unit of work for phases 2 and 3.
+ */
+struct Dfg
+{
+    uint32_t n = 0; //!< polynomial length (elements per RVec)
+    std::vector<Instruction> instrs;
+    std::vector<ValueInfo> values;
+
+    size_t rvecBytes() const { return (size_t)n * 4; }
+
+    ValueId
+    newValue(ValueKind kind, int32_t hint_id = -1)
+    {
+        values.push_back(ValueInfo{kind, hint_id, UINT32_MAX});
+        return static_cast<ValueId>(values.size() - 1);
+    }
+
+    InstrId
+    emit(Opcode op, ValueId dst, ValueId src0, ValueId src1 = kNoValue)
+    {
+        InstrId id = static_cast<InstrId>(instrs.size());
+        instrs.push_back(Instruction{op, dst, src0, src1, id});
+        if (dst != kNoValue)
+            values[dst].producer = id;
+        return id;
+    }
+
+    /** Compute-instruction count by FU class (cost-model queries). */
+    std::vector<size_t> opHistogram() const;
+
+    /** Validation: operands defined before use, no double definition. */
+    void validate() const;
+};
+
+} // namespace f1
+
+#endif // F1_ISA_ISA_H

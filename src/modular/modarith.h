@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Scalar modular arithmetic over word-sized prime moduli.
+ *
+ * F1 operates on 32-bit residue words (paper §2.3: RNS representation
+ * with W = 32-bit words). All library moduli are primes q < 2^31 so that
+ * lazy sums of two residues still fit a 32-bit word and 64-bit
+ * intermediates never overflow.
+ */
+#ifndef F1_MODULAR_MODARITH_H
+#define F1_MODULAR_MODARITH_H
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace f1 {
+
+/** Maximum supported modulus width in bits. */
+constexpr int kMaxModulusBits = 31;
+
+/** a + b mod q, inputs already reduced. */
+inline uint32_t
+addMod(uint32_t a, uint32_t b, uint32_t q)
+{
+    uint32_t s = a + b;
+    return s >= q ? s - q : s;
+}
+
+/** a - b mod q, inputs already reduced. */
+inline uint32_t
+subMod(uint32_t a, uint32_t b, uint32_t q)
+{
+    return a >= b ? a - b : a + q - b;
+}
+
+/** a * b mod q via 64-bit widening; reference implementation. */
+inline uint32_t
+mulMod(uint32_t a, uint32_t b, uint32_t q)
+{
+    return static_cast<uint32_t>((uint64_t)a * b % q);
+}
+
+/** -a mod q. */
+inline uint32_t
+negMod(uint32_t a, uint32_t q)
+{
+    return a == 0 ? 0 : q - a;
+}
+
+/** a^e mod q by square-and-multiply. */
+inline uint32_t
+powMod(uint32_t a, uint64_t e, uint32_t q)
+{
+    uint64_t base = a % q;
+    uint64_t result = 1;
+    while (e) {
+        if (e & 1)
+            result = result * base % q;
+        base = base * base % q;
+        e >>= 1;
+    }
+    return static_cast<uint32_t>(result);
+}
+
+/** a^-1 mod prime q (Fermat); requires gcd(a, q) == 1. */
+inline uint32_t
+invMod(uint32_t a, uint32_t q)
+{
+    F1_REQUIRE(a % q != 0, "inverse of zero mod " << q);
+    return powMod(a, q - 2, q);
+}
+
+/**
+ * Shoup precomputation for multiplication by a fixed operand w < q:
+ * precon = floor(w * 2^32 / q). Used on NTT twiddle factors, where the
+ * hardware stores w alongside its precomputed constant.
+ */
+inline uint32_t
+shoupPrecompute(uint32_t w, uint32_t q)
+{
+    return static_cast<uint32_t>(((uint64_t)w << 32) / q);
+}
+
+/**
+ * Shoup modular multiplication a * w mod q with precomputed
+ * precon = floor(w << 32 / q). Single multiply-high plus a correction;
+ * this is the fast scalar path used by the software NTT.
+ */
+inline uint32_t
+mulModShoup(uint32_t a, uint32_t w, uint32_t precon, uint32_t q)
+{
+    uint32_t hi = static_cast<uint32_t>(((uint64_t)a * precon) >> 32);
+    uint32_t r = static_cast<uint32_t>(
+        (uint64_t)a * w - (uint64_t)hi * q);
+    return r >= q ? r - q : r;
+}
+
+} // namespace f1
+
+#endif // F1_MODULAR_MODARITH_H

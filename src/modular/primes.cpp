@@ -1,0 +1,140 @@
+#include "modular/primes.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "modular/modarith.h"
+
+namespace f1 {
+
+namespace {
+
+uint64_t
+mulMod64(uint64_t a, uint64_t b, uint64_t m)
+{
+    return static_cast<uint64_t>((unsigned __int128)a * b % m);
+}
+
+uint64_t
+powMod64(uint64_t a, uint64_t e, uint64_t m)
+{
+    uint64_t r = 1;
+    a %= m;
+    while (e) {
+        if (e & 1)
+            r = mulMod64(r, a, m);
+        a = mulMod64(a, a, m);
+        e >>= 1;
+    }
+    return r;
+}
+
+} // namespace
+
+bool
+isPrime(uint64_t n)
+{
+    if (n < 2)
+        return false;
+    for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                       19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n % p == 0)
+            return n == p;
+    }
+    uint64_t d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // This base set is deterministic for all n < 2^64.
+    for (uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                       19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        uint64_t x = powMod64(a, d, n);
+        if (x == 1 || x == n - 1)
+            continue;
+        bool composite = true;
+        for (int i = 0; i < r - 1; ++i) {
+            x = mulMod64(x, x, n);
+            if (x == n - 1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite)
+            return false;
+    }
+    return true;
+}
+
+std::vector<uint32_t>
+generateNttPrimes(size_t count, uint32_t bits, uint64_t n,
+                  const std::vector<uint32_t> &avoid)
+{
+    F1_REQUIRE(bits >= 17 && bits <= (uint32_t)kMaxModulusBits,
+               "prime width " << bits << " out of range");
+    F1_REQUIRE(isPowerOfTwo(n), "degree must be a power of two");
+
+    // q ≡ 1 (mod step) where step = lcm(2N, 2^16); both are powers of
+    // two so the lcm is their max.
+    const uint64_t step = std::max<uint64_t>(2 * n, 1ULL << 16);
+    F1_REQUIRE(step < (1ULL << bits),
+               "degree too large for " << bits << "-bit primes");
+
+    std::vector<uint32_t> primes;
+    // Descend from the top of the bits-wide range.
+    uint64_t candidate = ((1ULL << bits) - 1) / step * step + 1;
+    while (candidate >= step)
+    {
+        if (candidate < (1ULL << (bits - 1)))
+            break; // keep exactly `bits`-bit primes
+        if (isPrime(candidate) &&
+            std::find(avoid.begin(), avoid.end(),
+                      (uint32_t)candidate) == avoid.end()) {
+            primes.push_back(static_cast<uint32_t>(candidate));
+            if (primes.size() == count)
+                return primes;
+        }
+        candidate -= step;
+    }
+    F1_FATAL("not enough " << bits << "-bit NTT primes for N=" << n
+             << " (found " << primes.size() << ", need " << count << ")");
+}
+
+size_t
+countFheFriendlyPrimes(uint32_t bits)
+{
+    const uint64_t step = 1ULL << 16;
+    size_t count = 0;
+    for (uint64_t c = step + 1; c < (1ULL << bits); c += step) {
+        if (isPrime(c))
+            ++count;
+    }
+    return count;
+}
+
+uint32_t
+primitiveRootOfUnity(uint64_t order, uint32_t q)
+{
+    F1_REQUIRE((q - 1) % order == 0,
+               "order " << order << " does not divide q-1 for q=" << q);
+    Rng rng(q); // deterministic per modulus
+    const uint64_t exp = (q - 1) / order;
+    for (int attempt = 0; attempt < 4096; ++attempt) {
+        uint32_t g = static_cast<uint32_t>(rng.uniform(q - 2)) + 2;
+        uint32_t cand = powMod(g, exp, q);
+        // Exact order check: cand^(order/p) != 1 for prime p | order.
+        // Our orders are powers of two, so checking order/2 suffices.
+        if (cand == 1)
+            continue;
+        if (order % 2 == 0 && powMod(cand, order / 2, q) == 1)
+            continue;
+        F1_CHECK(powMod(cand, order, q) == 1, "root order overflow");
+        return cand;
+    }
+    F1_FATAL("no primitive root of order " << order << " mod " << q);
+}
+
+} // namespace f1

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Prime generation for RNS modulus chains.
+ *
+ * Library moduli satisfy two congruences simultaneously:
+ *  - q ≡ 1 (mod 2N): required for the negacyclic NTT (a primitive
+ *    2N-th root of unity must exist mod q);
+ *  - q ≡ 1 (mod 2^16): the FHE-friendly multiplier restriction
+ *    (paper §5.3, adapted — see DESIGN.md).
+ */
+#ifndef F1_MODULAR_PRIMES_H
+#define F1_MODULAR_PRIMES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace f1 {
+
+/** Deterministic Miller-Rabin, exact for all 64-bit inputs. */
+bool isPrime(uint64_t n);
+
+/**
+ * Generates `count` distinct primes of exactly `bits` bits satisfying
+ * q ≡ 1 (mod lcm(2n, 2^16)), descending from the top of the range,
+ * skipping any prime in `avoid`.
+ *
+ * @param count  number of primes
+ * @param bits   prime width in bits (<= 31)
+ * @param n      polynomial degree (power of two)
+ * @param avoid  primes to skip (e.g., already used by the chain)
+ */
+std::vector<uint32_t> generateNttPrimes(
+    size_t count, uint32_t bits, uint64_t n,
+    const std::vector<uint32_t> &avoid = {});
+
+/**
+ * Counts primes q < 2^31 with q ≡ 1 (mod 2^16) up to a sampling bound;
+ * used by the Table 1 bench to reproduce the paper's claim that the
+ * FHE-friendly restriction still leaves thousands of usable moduli.
+ */
+size_t countFheFriendlyPrimes(uint32_t bits);
+
+/**
+ * Finds an element of exact multiplicative order `order` mod prime q.
+ * Requires order | q - 1.
+ */
+uint32_t primitiveRootOfUnity(uint64_t order, uint32_t q);
+
+} // namespace f1
+
+#endif // F1_MODULAR_PRIMES_H

@@ -1,0 +1,125 @@
+#include "poly/fourstep.h"
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "modular/modarith.h"
+#include "poly/transpose.h"
+
+namespace f1 {
+
+FourStepNtt::FourStepNtt(const NttTables &tables, uint32_t lanes)
+    : tables_(tables), lanes_(lanes)
+{
+    const uint32_t n = tables.n();
+    F1_REQUIRE(isPowerOfTwo(lanes), "lane count must be a power of two");
+    F1_REQUIRE(n <= (uint64_t)lanes * lanes,
+               "four-step unit supports N <= E^2 (N=" << n
+               << ", E=" << lanes << ")");
+    if (n <= lanes) {
+        n1_ = n; // single sub-NTT, all quadrant swaps bypassed
+        n2_ = 1;
+    } else {
+        n1_ = lanes;
+        n2_ = n / lanes;
+    }
+
+    const uint32_t q = tables.q();
+    psiPow_.resize(n);
+    psiPowPre_.resize(n);
+    psiInvPow_.resize(n);
+    psiInvPre_.resize(n);
+    const uint32_t psi = tables.psi();
+    const uint32_t psi_inv = invMod(psi, q);
+    uint32_t p = 1, pi = 1;
+    for (uint32_t i = 0; i < n; ++i) {
+        psiPow_[i] = p;
+        psiPowPre_[i] = shoupPrecompute(p, q);
+        psiInvPow_[i] = pi;
+        psiInvPre_[i] = shoupPrecompute(pi, q);
+        p = mulMod(p, psi, q);
+        pi = mulMod(pi, psi_inv, q);
+    }
+}
+
+void
+FourStepNtt::fourStepCyclic(std::span<uint32_t> a, bool inverse) const
+{
+    const uint32_t n = tables_.n();
+    const uint32_t q = tables_.q();
+    if (n2_ == 1) {
+        // Small-N bypass: a single sub-NTT pass.
+        if (inverse)
+            tables_.cyclicInverse(a);
+        else
+            tables_.cyclicForward(a);
+        return;
+    }
+
+    // View a as an n1×n2 row-major matrix A[j1][j2] = a[j1*n2 + j2].
+    // Step 1: transpose so the length-n1 sub-transforms are contiguous.
+    std::vector<uint32_t> b(n);
+    transposeDirect<uint32_t>(a, b, n1_, n2_);
+
+    // Step 2: n1-point DFT on each of the n2 rows.
+    for (uint32_t r = 0; r < n2_; ++r) {
+        std::span<uint32_t> row(b.data() + (size_t)r * n1_, n1_);
+        if (inverse)
+            tables_.cyclicInverse(row);
+        else
+            tables_.cyclicForward(row);
+    }
+
+    // Step 3: twiddle by ω^(±j2*k1) (the unit's multiplier stage).
+    for (uint32_t j2 = 0; j2 < n2_; ++j2) {
+        const uint32_t base = inverse
+            ? invMod(tables_.omegaPow(j2), q)
+            : tables_.omegaPow(j2);
+        uint32_t w = 1;
+        for (uint32_t k1 = 0; k1 < n1_; ++k1) {
+            b[(size_t)j2 * n1_ + k1] =
+                mulMod(b[(size_t)j2 * n1_ + k1], w, q);
+            w = mulMod(w, base, q);
+        }
+    }
+
+    // Step 4: transpose back; rows are now indexed by k1.
+    std::vector<uint32_t> c(n);
+    transposeDirect<uint32_t>(b, c, n2_, n1_);
+
+    // Step 5: n2-point DFT on each of the n1 rows (layers bypassed in
+    // hardware when n2 < E).
+    for (uint32_t r = 0; r < n1_; ++r) {
+        std::span<uint32_t> row(c.data() + (size_t)r * n2_, n2_);
+        if (inverse)
+            tables_.cyclicInverse(row);
+        else
+            tables_.cyclicForward(row);
+    }
+
+    // Step 6: output element X[k2*n1 + k1] = C[k1][k2].
+    transposeDirect<uint32_t>(c, a, n1_, n2_);
+}
+
+void
+FourStepNtt::forward(std::span<uint32_t> a) const
+{
+    const uint32_t n = tables_.n();
+    const uint32_t q = tables_.q();
+    F1_CHECK(a.size() == n, "four-step forward length mismatch");
+    for (uint32_t i = 0; i < n; ++i)
+        a[i] = mulModShoup(a[i], psiPow_[i], psiPowPre_[i], q);
+    fourStepCyclic(a, false);
+}
+
+void
+FourStepNtt::inverse(std::span<uint32_t> a) const
+{
+    const uint32_t n = tables_.n();
+    const uint32_t q = tables_.q();
+    F1_CHECK(a.size() == n, "four-step inverse length mismatch");
+    fourStepCyclic(a, true);
+    for (uint32_t i = 0; i < n; ++i)
+        a[i] = mulModShoup(a[i], psiInvPow_[i], psiInvPre_[i], q);
+}
+
+} // namespace f1

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Functional model of F1's four-step NTT unit (paper §5.2, Fig. 8).
+ *
+ * The hardware computes an N-point negacyclic NTT as a composition of
+ * E-point transforms: E-point NTTs on each chunk, a twiddle
+ * multiplication, a transpose, and a second round of E-point NTTs
+ * (with layers bypassed when G = N/E < E). The negacyclic pre/post
+ * multiplications are folded into the twiddle SRAM contents, which is
+ * how a single pipeline serves both forward and inverse negacyclic
+ * transforms (the paper's DIT+DIF observation).
+ *
+ * This model reproduces the dataflow — sub-NTTs of length E and G,
+ * explicit twiddle pass, explicit transposes — and is verified
+ * bit-identical to the iterative NttTables transform. The per-stage
+ * timing of the unit lives in the architecture model, not here.
+ */
+#ifndef F1_POLY_FOURSTEP_H
+#define F1_POLY_FOURSTEP_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "poly/ntt.h"
+
+namespace f1 {
+
+class FourStepNtt
+{
+  public:
+    /**
+     * @param tables iterative-NTT tables for (n, q); reused for the
+     *               sub-transform stage twiddles
+     * @param lanes  E, the hardware vector width; requires n <= E^2
+     */
+    FourStepNtt(const NttTables &tables, uint32_t lanes);
+
+    /** Negacyclic forward NTT through the four-step datapath. */
+    void forward(std::span<uint32_t> a) const;
+
+    /** Negacyclic inverse NTT through the four-step datapath. */
+    void inverse(std::span<uint32_t> a) const;
+
+    uint32_t lanes() const { return lanes_; }
+
+  private:
+    void fourStepCyclic(std::span<uint32_t> a, bool inverse) const;
+
+    const NttTables &tables_;
+    uint32_t lanes_;
+    uint32_t n1_, n2_; //!< N = n1 * n2 decomposition (n1 = E)
+    std::vector<uint32_t> psiPow_, psiPowPre_;   //!< ψ^i
+    std::vector<uint32_t> psiInvPow_, psiInvPre_; //!< ψ^-i (unscaled)
+};
+
+} // namespace f1
+
+#endif // F1_POLY_FOURSTEP_H

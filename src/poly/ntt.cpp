@@ -1,0 +1,208 @@
+#include "poly/ntt.h"
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "modular/modarith.h"
+#include "modular/primes.h"
+
+namespace f1 {
+
+NttTables::NttTables(uint32_t n, uint32_t q) : n_(n), q_(q)
+{
+    F1_REQUIRE(isPowerOfTwo(n) && n >= 2, "NTT length must be a power "
+               "of two >= 2, got " << n);
+    F1_REQUIRE((q - 1) % (2 * n) == 0,
+               "modulus " << q << " is not NTT-friendly for n=" << n);
+    logN_ = log2Exact(n);
+    psi_ = primitiveRootOfUnity(2 * n, q);
+    psiInv_ = invMod(psi_, q);
+    omega_ = mulMod(psi_, psi_, q);
+    omegaInv_ = invMod(omega_, q);
+    nInv_ = invMod(n, q);
+    buildTwiddles();
+}
+
+void
+NttTables::buildTwiddles()
+{
+    tw_.resize(n_);
+    twPre_.resize(n_);
+    twInv_.resize(n_);
+    twInvPre_.resize(n_);
+    // Stage `half` (half = len/2) uses tw_[half + j] = omega^((n/2half)j).
+    for (uint32_t half = 1; half < n_; half <<= 1) {
+        uint32_t wlen = powMod(omega_, n_ / (2 * half), q_);
+        uint32_t wlenInv = powMod(omegaInv_, n_ / (2 * half), q_);
+        uint32_t w = 1, wi = 1;
+        for (uint32_t j = 0; j < half; ++j) {
+            tw_[half + j] = w;
+            twPre_[half + j] = shoupPrecompute(w, q_);
+            twInv_[half + j] = wi;
+            twInvPre_[half + j] = shoupPrecompute(wi, q_);
+            w = mulMod(w, wlen, q_);
+            wi = mulMod(wi, wlenInv, q_);
+        }
+    }
+
+    psiPow_.resize(n_);
+    psiPowPre_.resize(n_);
+    psiInvN_.resize(n_);
+    psiInvNPre_.resize(n_);
+    uint32_t p = 1;
+    uint32_t pin = nInv_;
+    for (uint32_t i = 0; i < n_; ++i) {
+        psiPow_[i] = p;
+        psiPowPre_[i] = shoupPrecompute(p, q_);
+        psiInvN_[i] = pin;
+        psiInvNPre_[i] = shoupPrecompute(pin, q_);
+        p = mulMod(p, psi_, q_);
+        pin = mulMod(pin, psiInv_, q_);
+    }
+
+    lenInv_.resize(logN_ + 1);
+    lenInvPre_.resize(logN_ + 1);
+    for (uint32_t lg = 0; lg <= logN_; ++lg) {
+        lenInv_[lg] = invMod(1u << lg, q_);
+        lenInvPre_[lg] = shoupPrecompute(lenInv_[lg], q_);
+    }
+}
+
+uint32_t
+NttTables::omegaPow(uint64_t e) const
+{
+    return powMod(omega_, e % n_, q_);
+}
+
+namespace {
+
+/** In-place bit-reversal permutation of a power-of-two-length span. */
+void
+bitReversePermute(std::span<uint32_t> a)
+{
+    const uint32_t len = static_cast<uint32_t>(a.size());
+    const uint32_t bits = log2Exact(len);
+    for (uint32_t i = 0; i < len; ++i) {
+        uint32_t j = bitReverse(i, bits);
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+}
+
+} // namespace
+
+void
+NttTables::cyclicForward(std::span<uint32_t> a) const
+{
+    const uint32_t len = static_cast<uint32_t>(a.size());
+    F1_CHECK(isPowerOfTwo(len) && len <= n_, "bad cyclic NTT length");
+    bitReversePermute(a);
+    for (uint32_t half = 1; half < len; half <<= 1) {
+        for (uint32_t base = 0; base < len; base += 2 * half) {
+            for (uint32_t j = 0; j < half; ++j) {
+                uint32_t u = a[base + j];
+                uint32_t v = mulModShoup(a[base + half + j],
+                                         tw_[half + j],
+                                         twPre_[half + j], q_);
+                a[base + j] = addMod(u, v, q_);
+                a[base + half + j] = subMod(u, v, q_);
+            }
+        }
+    }
+}
+
+void
+NttTables::cyclicInverse(std::span<uint32_t> a) const
+{
+    const uint32_t len = static_cast<uint32_t>(a.size());
+    F1_CHECK(isPowerOfTwo(len) && len <= n_, "bad cyclic NTT length");
+    bitReversePermute(a);
+    for (uint32_t half = 1; half < len; half <<= 1) {
+        for (uint32_t base = 0; base < len; base += 2 * half) {
+            for (uint32_t j = 0; j < half; ++j) {
+                uint32_t u = a[base + j];
+                uint32_t v = mulModShoup(a[base + half + j],
+                                         twInv_[half + j],
+                                         twInvPre_[half + j], q_);
+                a[base + j] = addMod(u, v, q_);
+                a[base + half + j] = subMod(u, v, q_);
+            }
+        }
+    }
+    const uint32_t lg = log2Exact(len);
+    for (auto &x : a)
+        x = mulModShoup(x, lenInv_[lg], lenInvPre_[lg], q_);
+}
+
+void
+NttTables::forward(std::span<uint32_t> a) const
+{
+    F1_CHECK(a.size() == n_, "forward NTT length mismatch");
+    for (uint32_t i = 0; i < n_; ++i)
+        a[i] = mulModShoup(a[i], psiPow_[i], psiPowPre_[i], q_);
+    cyclicForward(a);
+}
+
+void
+NttTables::inverse(std::span<uint32_t> a) const
+{
+    F1_CHECK(a.size() == n_, "inverse NTT length mismatch");
+    // cyclicInverse already scales by 1/n; psiInvN_ tables fold another
+    // 1/n, so undo one of them by using raw psi^-i here. To keep a
+    // single fused table we instead run the unscaled inverse FFT and
+    // apply psi^-i/n in one pass.
+    bitReversePermute(a);
+    for (uint32_t half = 1; half < n_; half <<= 1) {
+        for (uint32_t base = 0; base < n_; base += 2 * half) {
+            for (uint32_t j = 0; j < half; ++j) {
+                uint32_t u = a[base + j];
+                uint32_t v = mulModShoup(a[base + half + j],
+                                         twInv_[half + j],
+                                         twInvPre_[half + j], q_);
+                a[base + j] = addMod(u, v, q_);
+                a[base + half + j] = subMod(u, v, q_);
+            }
+        }
+    }
+    for (uint32_t i = 0; i < n_; ++i)
+        a[i] = mulModShoup(a[i], psiInvN_[i], psiInvNPre_[i], q_);
+}
+
+std::vector<uint32_t>
+slowNegacyclicNtt(std::span<const uint32_t> a, uint32_t q, uint32_t psi)
+{
+    const size_t n = a.size();
+    std::vector<uint32_t> out(n);
+    for (size_t k = 0; k < n; ++k) {
+        uint64_t acc = 0;
+        uint32_t base = powMod(psi, 2 * k + 1, q);
+        uint32_t x = 1;
+        for (size_t i = 0; i < n; ++i) {
+            acc = (acc + (uint64_t)a[i] * x) % q;
+            x = mulMod(x, base, q);
+        }
+        out[k] = static_cast<uint32_t>(acc);
+    }
+    return out;
+}
+
+std::vector<uint32_t>
+slowNegacyclicMul(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                  uint32_t q)
+{
+    const size_t n = a.size();
+    F1_CHECK(b.size() == n, "length mismatch");
+    std::vector<uint32_t> out(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            uint32_t p = mulMod(a[i], b[j], q);
+            size_t k = i + j;
+            if (k < n)
+                out[k] = addMod(out[k], p, q);
+            else
+                out[k - n] = subMod(out[k - n], p, q); // x^n = -1
+        }
+    }
+    return out;
+}
+
+} // namespace f1

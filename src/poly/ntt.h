@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Negacyclic Number-Theoretic Transform (paper §2.3, §5.2).
+ *
+ * Convention: the NTT domain is the vector of evaluations at odd powers
+ * of the primitive 2N-th root of unity ψ, in natural order:
+ *
+ *     NTT(a)[k] = a(ψ^(2k+1)),   k = 0..N-1.
+ *
+ * With this convention polynomial multiplication mod x^N + 1 is exact
+ * element-wise multiplication, and automorphisms act on the NTT domain
+ * as index permutations without sign flips (see automorphism.h).
+ *
+ * The forward transform is implemented as a ψ-powers pre-multiplication
+ * followed by a cyclic FFT with ω = ψ²; the inverse is the inverse
+ * cyclic FFT followed by a ψ^-i/N post-multiplication. The hardware
+ * four-step unit (fourstep.h) folds these multiplications into its
+ * twiddle SRAM, as described in §5.2.
+ */
+#ifndef F1_POLY_NTT_H
+#define F1_POLY_NTT_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace f1 {
+
+/**
+ * Precomputed constants for NTTs of length n modulo q. q must satisfy
+ * q ≡ 1 (mod 2n). All twiddles carry Shoup precomputations so butterfly
+ * multiplications take a single mulhi + correction.
+ */
+class NttTables
+{
+  public:
+    NttTables(uint32_t n, uint32_t q);
+
+    uint32_t n() const { return n_; }
+    uint32_t q() const { return q_; }
+    uint32_t psi() const { return psi_; }
+
+    /** Negacyclic forward NTT, in place, natural order in and out. */
+    void forward(std::span<uint32_t> a) const;
+
+    /** Negacyclic inverse NTT, in place, natural order in and out. */
+    void inverse(std::span<uint32_t> a) const;
+
+    /**
+     * Cyclic DFT with root of unity of order `len` = a.size() (a power
+     * of two dividing n), natural order. Exposed for the four-step
+     * unit, whose inner transforms are cyclic DFTs of length E and G.
+     */
+    void cyclicForward(std::span<uint32_t> a) const;
+    void cyclicInverse(std::span<uint32_t> a) const; // includes 1/len
+
+    /** ω^e where ω = ψ² is the primitive n-th root used by the FFT. */
+    uint32_t omegaPow(uint64_t e) const;
+
+  private:
+    void buildTwiddles();
+
+    uint32_t n_;
+    uint32_t logN_;
+    uint32_t q_;
+    uint32_t psi_;    //!< primitive 2n-th root of unity
+    uint32_t psiInv_;
+    uint32_t omega_;  //!< psi^2, primitive n-th root
+    uint32_t omegaInv_;
+    uint32_t nInv_;
+
+    // Stage twiddles for the cyclic FFT, layout tw_[half + j] for
+    // half in {1, 2, 4, ...}, j < half.
+    std::vector<uint32_t> tw_, twPre_;
+    std::vector<uint32_t> twInv_, twInvPre_;
+    // psi^i and psi^-i * nInv with Shoup precomputations.
+    std::vector<uint32_t> psiPow_, psiPowPre_;
+    std::vector<uint32_t> psiInvN_, psiInvNPre_;
+    // Per-length inverse scalings for cyclicInverse.
+    std::vector<uint32_t> lenInv_, lenInvPre_; // indexed by log2(len)
+};
+
+/** O(n^2) reference negacyclic transform; for tests only. */
+std::vector<uint32_t> slowNegacyclicNtt(
+    std::span<const uint32_t> a, uint32_t q, uint32_t psi);
+
+/** O(n^2) schoolbook multiplication mod x^n + 1; for tests only. */
+std::vector<uint32_t> slowNegacyclicMul(
+    std::span<const uint32_t> a, std::span<const uint32_t> b, uint32_t q);
+
+} // namespace f1
+
+#endif // F1_POLY_NTT_H

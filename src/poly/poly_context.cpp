@@ -1,0 +1,89 @@
+#include "poly/poly_context.h"
+
+#include "common/error.h"
+#include "modular/modarith.h"
+
+namespace f1 {
+
+PolyContext::PolyContext(uint32_t n, std::vector<uint32_t> moduli)
+    : n_(n), moduli_(std::move(moduli))
+{
+    F1_REQUIRE(!moduli_.empty(), "empty modulus chain");
+    tables_.reserve(moduli_.size());
+    for (uint32_t q : moduli_)
+        tables_.push_back(std::make_unique<NttTables>(n_, q));
+    buildCrt();
+}
+
+void
+PolyContext::buildCrt()
+{
+    const size_t len = moduli_.size();
+    qHatInv_.resize(len);
+    qHat_.resize(len);
+    qProd_.resize(len);
+    BigInt prod(1);
+    for (size_t lv = 0; lv < len; ++lv) {
+        prod.mulSmall(moduli_[lv]);
+        qProd_[lv] = prod;
+        // For prefix of length lv+1: qHat_i = prod / q_i; compute
+        // qHat_i mod q_i as the product of the other primes mod q_i.
+        auto &inv = qHatInv_[lv];
+        auto &hats = qHat_[lv];
+        inv.resize(lv + 1);
+        hats.resize(lv + 1);
+        for (size_t i = 0; i <= lv; ++i) {
+            uint64_t hat = 1;
+            BigInt hat_big(1);
+            for (size_t j = 0; j <= lv; ++j) {
+                if (j != i) {
+                    hat = hat * (moduli_[j] % moduli_[i]) % moduli_[i];
+                    hat_big.mulSmall(moduli_[j]);
+                }
+            }
+            inv[i] = invMod(static_cast<uint32_t>(hat), moduli_[i]);
+            hats[i] = hat_big;
+        }
+    }
+}
+
+BigInt
+PolyContext::modulusProduct(size_t levels) const
+{
+    F1_CHECK(levels >= 1 && levels <= moduli_.size(), "bad level count");
+    return qProd_[levels - 1];
+}
+
+const std::vector<uint32_t> &
+PolyContext::qHatInv(size_t levels) const
+{
+    F1_CHECK(levels >= 1 && levels <= moduli_.size(), "bad level count");
+    return qHatInv_[levels - 1];
+}
+
+std::pair<BigInt, bool>
+PolyContext::crtRecombineCentered(const std::vector<uint32_t> &residues,
+                                  size_t levels) const
+{
+    F1_CHECK(residues.size() >= levels, "missing residues");
+    const BigInt &bigq = qProd_[levels - 1];
+    const auto &inv = qHatInv_[levels - 1];
+
+    // x = sum_i [x_i * qHatInv_i mod q_i] * qHat_i  (mod Q)
+    BigInt acc(0);
+    for (size_t i = 0; i < levels; ++i) {
+        uint32_t d = mulMod(residues[i] % moduli_[i], inv[i], moduli_[i]);
+        acc += qHat_[levels - 1][i].timesSmall(d);
+    }
+    acc.reduceBySubtraction(bigq);
+
+    // Center into (-Q/2, Q/2]: Q is odd, so compare 2*acc against Q.
+    BigInt twice = acc + acc;
+    if (twice > bigq) {
+        BigInt mag = bigq - acc;
+        return {mag, true};
+    }
+    return {acc, false};
+}
+
+} // namespace f1

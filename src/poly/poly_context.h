@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared polynomial-arithmetic context: the RNS modulus chain and the
+ * per-modulus NTT tables. Owned by the FHE context; referenced by every
+ * RnsPoly.
+ */
+#ifndef F1_POLY_POLY_CONTEXT_H
+#define F1_POLY_POLY_CONTEXT_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bigint.h"
+#include "poly/ntt.h"
+
+namespace f1 {
+
+class PolyContext
+{
+  public:
+    /**
+     * @param n       polynomial degree (power of two)
+     * @param moduli  RNS primes q_0..q_{L-1}; each ≡ 1 (mod 2n)
+     */
+    PolyContext(uint32_t n, std::vector<uint32_t> moduli);
+
+    uint32_t n() const { return n_; }
+    size_t chainLength() const { return moduli_.size(); }
+    uint32_t modulus(size_t i) const { return moduli_[i]; }
+    const std::vector<uint32_t> &moduli() const { return moduli_; }
+    const NttTables &tables(size_t i) const { return *tables_[i]; }
+
+    /** Product q_0 * ... * q_{levels-1}. */
+    BigInt modulusProduct(size_t levels) const;
+
+    /**
+     * CRT recombination of one coefficient from its first `levels`
+     * residues, centered into (-Q/2, Q/2]; returns (magnitude, isNeg).
+     */
+    std::pair<BigInt, bool> crtRecombineCentered(
+        const std::vector<uint32_t> &residues, size_t levels) const;
+
+    /**
+     * Precomputed CRT constants for the first `levels` moduli:
+     * qHatInv[i] = (Q/q_i)^-1 mod q_i.
+     */
+    const std::vector<uint32_t> &qHatInv(size_t levels) const;
+
+  private:
+    void buildCrt();
+
+    uint32_t n_;
+    std::vector<uint32_t> moduli_;
+    std::vector<std::unique_ptr<NttTables>> tables_;
+    // crt_[lv]: per-prefix-length constants, index lv = levels-1.
+    std::vector<std::vector<uint32_t>> qHatInv_;
+    std::vector<std::vector<BigInt>> qHat_; //!< qHat_[lv][i] = Q/q_i
+    std::vector<BigInt> qProd_;
+};
+
+} // namespace f1
+
+#endif // F1_POLY_POLY_CONTEXT_H

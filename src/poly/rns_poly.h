@@ -1,0 +1,103 @@
+/**
+ * @file
+ * RNS polynomial: an element of R_Q = Z_Q[x]/(x^N + 1) stored as L
+ * residue polynomials of N 32-bit coefficients (the paper's RVec,
+ * Listing 1). Tracks whether it currently lives in the coefficient or
+ * the NTT domain; element-wise products are only legal in the NTT
+ * domain and the operations assert this.
+ */
+#ifndef F1_POLY_RNS_POLY_H
+#define F1_POLY_RNS_POLY_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "poly/poly_context.h"
+
+namespace f1 {
+
+enum class Domain { kCoeff, kNtt };
+
+class RnsPoly
+{
+  public:
+    /** Zero polynomial with `levels` residues. */
+    RnsPoly(const PolyContext *ctx, size_t levels,
+            Domain domain = Domain::kNtt);
+
+    /** Uniformly random element of R_Q (used for the `a` part of
+     *  ciphertexts and public keys). */
+    static RnsPoly uniform(const PolyContext *ctx, size_t levels,
+                           Rng &rng, Domain domain = Domain::kNtt);
+
+    /**
+     * Polynomial with small signed integer coefficients (same integer
+     * replicated across residues): error/ternary sampling and constant
+     * lifting all use this.
+     */
+    static RnsPoly fromSigned(const PolyContext *ctx, size_t levels,
+                              std::span<const int64_t> coeffs,
+                              Domain target = Domain::kNtt);
+
+    const PolyContext *context() const { return ctx_; }
+    uint32_t n() const { return ctx_->n(); }
+    size_t levels() const { return levels_; }
+    Domain domain() const { return domain_; }
+
+    std::span<uint32_t> residue(size_t i);
+    std::span<const uint32_t> residue(size_t i) const;
+
+    /** Domain conversions (all residues). */
+    void toNtt();
+    void toCoeff();
+
+    // Element-wise arithmetic; operands must agree in level count and
+    // domain. Levels beyond the shorter operand are dropped by callers.
+    RnsPoly &operator+=(const RnsPoly &o);
+    RnsPoly &operator-=(const RnsPoly &o);
+    RnsPoly operator+(const RnsPoly &o) const;
+    RnsPoly operator-(const RnsPoly &o) const;
+    void negate();
+
+    /** Element-wise product; both operands must be in the NTT domain. */
+    RnsPoly &mulEq(const RnsPoly &o);
+    RnsPoly mul(const RnsPoly &o) const;
+
+    /** Multiply every residue i by scalar[i] (already reduced). */
+    void mulScalarPerResidue(std::span<const uint32_t> scalar);
+
+    /** Multiply by a small unsigned constant (reduced per residue). */
+    void mulScalar(uint64_t c);
+
+    /** Apply σ_g in the current domain. */
+    RnsPoly automorphism(uint64_t g) const;
+
+    /** Drop the last residue (modulus-switching support). */
+    void dropLastResidue();
+
+    /** Copy of the first `levels` residues. */
+    RnsPoly restricted(size_t levels) const;
+
+    /** Adds `count` fresh zero residues (used by base extension). */
+    void appendZeroResidues(size_t count);
+
+    /** Exact centered value of coefficient `idx` (CRT; coeff domain). */
+    std::pair<BigInt, bool> coeffCentered(size_t idx) const;
+
+    /** Raw storage access for the functional simulator. */
+    std::vector<uint32_t> &raw() { return data_; }
+    const std::vector<uint32_t> &raw() const { return data_; }
+    void setDomain(Domain d) { domain_ = d; }
+
+  private:
+    const PolyContext *ctx_;
+    size_t levels_;
+    Domain domain_;
+    std::vector<uint32_t> data_; //!< levels_ * n, residue-major
+};
+
+} // namespace f1
+
+#endif // F1_POLY_RNS_POLY_H

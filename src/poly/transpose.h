@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Matrix transposition, including a functional model of the paper's
+ * quadrant-swap transpose unit (§5.1, Fig. 7). The hardware transposes
+ * an E×E matrix by recursively swapping quadrants:
+ *
+ *     [A B]^T = [A^T C^T]
+ *     [C D]     [B^T D^T]
+ *
+ * transposeQuadrantSwap() follows exactly that recursion so tests can
+ * pin the hardware algorithm against the direct index transpose.
+ */
+#ifndef F1_POLY_TRANSPOSE_H
+#define F1_POLY_TRANSPOSE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/error.h"
+
+namespace f1 {
+
+/** Direct rows×cols transpose: out[c*rows + r] = in[r*cols + c]. */
+template <typename T>
+void
+transposeDirect(std::span<const T> in, std::span<T> out,
+                size_t rows, size_t cols)
+{
+    F1_CHECK(in.size() == rows * cols && out.size() == rows * cols,
+             "transpose size mismatch");
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            out[c * rows + r] = in[r * cols + c];
+}
+
+namespace detail {
+
+/** Swaps quadrants B and C of the dim×dim submatrix at (r0, c0). */
+template <typename T>
+void
+quadrantSwap(std::span<T> m, size_t stride, size_t r0, size_t c0,
+             size_t dim)
+{
+    const size_t h = dim / 2;
+    for (size_t r = 0; r < h; ++r) {
+        for (size_t c = 0; c < h; ++c) {
+            std::swap(m[(r0 + r) * stride + (c0 + h + c)],
+                      m[(r0 + h + r) * stride + (c0 + c)]);
+        }
+    }
+}
+
+template <typename T>
+void
+transposeQuadrantSwapRec(std::span<T> m, size_t stride, size_t r0,
+                         size_t c0, size_t dim)
+{
+    if (dim == 1)
+        return;
+    // One full-size quadrant swap followed by recursive transposition
+    // of the four quadrants (Fig. 7 right: an E×E quadrant swap feeding
+    // log2(E) layers of smaller units).
+    quadrantSwap(m, stride, r0, c0, dim);
+    const size_t h = dim / 2;
+    transposeQuadrantSwapRec(m, stride, r0, c0, h);
+    transposeQuadrantSwapRec(m, stride, r0, c0 + h, h);
+    transposeQuadrantSwapRec(m, stride, r0 + h, c0, h);
+    transposeQuadrantSwapRec(m, stride, r0 + h, c0 + h, h);
+}
+
+} // namespace detail
+
+/**
+ * In-place transpose of a dim×dim matrix via the quadrant-swap
+ * recursion; dim must be a power of two.
+ */
+template <typename T>
+void
+transposeQuadrantSwap(std::span<T> m, size_t dim)
+{
+    F1_CHECK(isPowerOfTwo(dim), "quadrant swap needs power-of-two dim");
+    F1_CHECK(m.size() == dim * dim, "quadrant swap size mismatch");
+    detail::transposeQuadrantSwapRec(m, dim, 0, 0, dim);
+}
+
+} // namespace f1
+
+#endif // F1_POLY_TRANSPOSE_H

@@ -1,0 +1,55 @@
+#include "sim/checker.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace f1 {
+
+CheckReport
+checkSchedule(const ScheduleResult &schedule, const F1Config &cfg)
+{
+    (void)cfg;
+    CheckReport report;
+
+    // Group events by concrete resource instance.
+    using Key = std::tuple<uint8_t, uint16_t, uint16_t, uint16_t>;
+    std::map<Key, std::vector<const ScheduledEvent *>> byResource;
+    for (const auto &ev : schedule.events) {
+        byResource[{(uint8_t)ev.res, ev.a, ev.b, ev.c}].push_back(&ev);
+        ++report.eventsChecked;
+    }
+
+    report.resourcesChecked = byResource.size();
+    for (auto &[key, events] : byResource) {
+        std::sort(events.begin(), events.end(),
+                  [](const ScheduledEvent *x, const ScheduledEvent *y) {
+                      return x->start < y->start;
+                  });
+        for (size_t i = 1; i < events.size(); ++i) {
+            if (events[i]->start < events[i - 1]->end) {
+                report.ok = false;
+                if (report.firstViolation.empty()) {
+                    std::ostringstream os;
+                    os << "resource (" << (int)std::get<0>(key) << ","
+                       << std::get<1>(key) << "," << std::get<2>(key)
+                       << "," << std::get<3>(key)
+                       << ") double-booked: [" << events[i - 1]->start
+                       << "," << events[i - 1]->end << ") overlaps ["
+                       << events[i]->start << "," << events[i]->end
+                       << ")";
+                    report.firstViolation = os.str();
+                }
+            }
+            if (events[i]->end > schedule.cycles) {
+                report.ok = false;
+                if (report.firstViolation.empty())
+                    report.firstViolation =
+                        "event beyond reported makespan";
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace f1

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Static-schedule checker (paper §7: "Because the architecture is
+ * static, this is very different from conventional simulators, and
+ * acts more as a checker"). Independently replays the event list the
+ * cycle-level scheduler produced and verifies that no hardware
+ * resource is double-booked and that every value is produced before it
+ * is consumed — i.e., that the fully static schedule needs no stall
+ * logic.
+ */
+#ifndef F1_SIM_CHECKER_H
+#define F1_SIM_CHECKER_H
+
+#include <string>
+
+#include "compiler/cycle_scheduler.h"
+
+namespace f1 {
+
+struct CheckReport
+{
+    bool ok = true;
+    size_t eventsChecked = 0;
+    size_t resourcesChecked = 0;
+    std::string firstViolation;
+};
+
+/** Validates a recorded schedule (requires recordEvents=true). */
+CheckReport checkSchedule(const ScheduleResult &schedule,
+                          const F1Config &cfg);
+
+} // namespace f1
+
+#endif // F1_SIM_CHECKER_H

@@ -1,0 +1,170 @@
+#include "sim/reference_executor.h"
+
+#include <chrono>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace f1 {
+
+ReferenceExecutor::ReferenceExecutor(const Program &prog, BgvScheme *bgv)
+    : prog_(prog), scheme_(RefScheme::kBgv), bgv_(bgv)
+{
+}
+
+ReferenceExecutor::ReferenceExecutor(const Program &prog,
+                                     CkksScheme *ckks)
+    : prog_(prog), scheme_(RefScheme::kCkks), ckks_(ckks)
+{
+}
+
+void
+ReferenceExecutor::setInputSlots(int handle, std::vector<uint64_t> slots)
+{
+    bgvInputs_[handle] = std::move(slots);
+}
+
+void
+ReferenceExecutor::setInputSlots(int handle,
+                                 std::vector<std::complex<double>> slots)
+{
+    ckksInputs_[handle] = std::move(slots);
+}
+
+void
+ReferenceExecutor::setPlainSlots(int handle, std::vector<uint64_t> slots)
+{
+    bgvPlains_[handle] = std::move(slots);
+}
+
+void
+ReferenceExecutor::setPlainSlots(int handle,
+                                 std::vector<std::complex<double>> slots)
+{
+    ckksPlains_[handle] = std::move(slots);
+}
+
+RefExecutionResult
+ReferenceExecutor::run()
+{
+    RefExecutionResult result;
+    const auto &ops = prog_.ops();
+    std::map<int, Ciphertext> cts;
+    std::map<int, std::vector<int64_t>> bgv_pts;
+    std::map<int, std::vector<std::complex<double>>> ckks_pts;
+    Rng rng(0xdada);
+
+    // Prepare inputs (encryption excluded from the timed region, as
+    // the client performs it).
+    const uint32_t n = prog_.n();
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const HeOp &op = ops[i];
+        if (op.kind == HeOpKind::kInput) {
+            if (scheme_ == RefScheme::kBgv) {
+                auto it = bgvInputs_.find((int)i);
+                std::vector<uint64_t> slots =
+                    it != bgvInputs_.end()
+                        ? it->second
+                        : rng.uniformVector(n, bgv_->plainModulus());
+                cts[(int)i] = bgv_->encryptSlots(slots, op.level);
+            } else {
+                auto it = ckksInputs_.find((int)i);
+                std::vector<std::complex<double>> slots(n / 2);
+                if (it != ckksInputs_.end()) {
+                    slots = it->second;
+                } else {
+                    for (auto &s : slots)
+                        s = {rng.uniformReal(-1, 1), 0.0};
+                }
+                cts[(int)i] = ckks_->encrypt(slots, op.level);
+            }
+        } else if (op.kind == HeOpKind::kInputPlain) {
+            if (scheme_ == RefScheme::kBgv) {
+                auto it = bgvPlains_.find((int)i);
+                std::vector<uint64_t> slots =
+                    it != bgvPlains_.end()
+                        ? it->second
+                        : rng.uniformVector(n, bgv_->plainModulus());
+                bgv_pts[(int)i] = bgv_->encoder().encodeSlots(slots);
+            } else {
+                auto it = ckksPlains_.find((int)i);
+                std::vector<std::complex<double>> slots(n / 2);
+                if (it != ckksPlains_.end()) {
+                    slots = it->second;
+                } else {
+                    for (auto &s : slots)
+                        s = {rng.uniformReal(-1, 1), 0.0};
+                }
+                ckks_pts[(int)i] = std::move(slots);
+            }
+        }
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const HeOp &op = ops[i];
+        const int h = (int)i;
+        switch (op.kind) {
+          case HeOpKind::kInput:
+          case HeOpKind::kInputPlain:
+            break;
+          case HeOpKind::kAdd:
+            cts[h] = scheme_ == RefScheme::kBgv
+                         ? bgv_->add(cts.at(op.a), cts.at(op.b))
+                         : ckks_->add(cts.at(op.a), cts.at(op.b));
+            break;
+          case HeOpKind::kSub:
+            cts[h] = scheme_ == RefScheme::kBgv
+                         ? bgv_->sub(cts.at(op.a), cts.at(op.b))
+                         : ckks_->sub(cts.at(op.a), cts.at(op.b));
+            break;
+          case HeOpKind::kAddPlain:
+            if (scheme_ == RefScheme::kBgv) {
+                cts[h] = bgv_->addPlain(cts.at(op.a),
+                                        bgv_pts.at(op.b));
+            } else {
+                cts[h] = ckks_->addPlain(cts.at(op.a),
+                                         ckks_pts.at(op.b));
+            }
+            break;
+          case HeOpKind::kMulPlain:
+            if (scheme_ == RefScheme::kBgv) {
+                cts[h] = bgv_->mulPlain(cts.at(op.a),
+                                        bgv_pts.at(op.b));
+            } else {
+                cts[h] = ckks_->mulPlain(cts.at(op.a),
+                                         ckks_pts.at(op.b));
+            }
+            break;
+          case HeOpKind::kMul:
+            cts[h] = scheme_ == RefScheme::kBgv
+                         ? bgv_->mul(cts.at(op.a), cts.at(op.b))
+                         : ckks_->mul(cts.at(op.a), cts.at(op.b));
+            break;
+          case HeOpKind::kRotate:
+            cts[h] = scheme_ == RefScheme::kBgv
+                         ? bgv_->rotate(cts.at(op.a), op.rotateBy)
+                         : ckks_->rotate(cts.at(op.a), op.rotateBy);
+            break;
+          case HeOpKind::kConjugate:
+            cts[h] = scheme_ == RefScheme::kBgv
+                         ? bgv_->conjugate(cts.at(op.a))
+                         : ckks_->conjugate(cts.at(op.a));
+            break;
+          case HeOpKind::kModSwitch:
+            cts[h] = scheme_ == RefScheme::kBgv
+                         ? bgv_->modSwitch(cts.at(op.a))
+                         : ckks_->rescale(cts.at(op.a));
+            break;
+          case HeOpKind::kOutput:
+            result.outputs[h] = cts.at(op.a);
+            break;
+        }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    result.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return result;
+}
+
+} // namespace f1

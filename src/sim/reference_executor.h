@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Functional execution of DSL programs on real encrypted data through
+ * the FHE layer — the equivalent of the paper's §8.5 functional
+ * simulator, and the CPU baseline of Table 3: the same homomorphic
+ * operation graph the F1 compiler schedules is executed in software
+ * and timed.
+ */
+#ifndef F1_SIM_REFERENCE_EXECUTOR_H
+#define F1_SIM_REFERENCE_EXECUTOR_H
+
+#include <complex>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "compiler/program.h"
+#include "fhe/bgv.h"
+#include "fhe/ckks.h"
+
+namespace f1 {
+
+/** Execution backends: which scheme interprets the program. */
+enum class RefScheme { kBgv, kCkks };
+
+struct RefExecutionResult
+{
+    double wallMs = 0; //!< software execution time
+    std::map<int, Ciphertext> outputs; //!< by DSL handle
+};
+
+/**
+ * Executes `prog` with the given scheme. Inputs are supplied through
+ * callbacks keyed by DSL handle; handles without a callback get
+ * deterministic pseudo-random data.
+ */
+class ReferenceExecutor
+{
+  public:
+    /** BGV backend. */
+    ReferenceExecutor(const Program &prog, BgvScheme *bgv);
+    /** CKKS backend. */
+    ReferenceExecutor(const Program &prog, CkksScheme *ckks);
+
+    /** Provides slot data for an encrypted input handle (BGV). */
+    void setInputSlots(int handle, std::vector<uint64_t> slots);
+    /** Provides slot data for an encrypted input handle (CKKS). */
+    void setInputSlots(int handle,
+                       std::vector<std::complex<double>> slots);
+    /** Provides plaintext data for an unencrypted input handle. */
+    void setPlainSlots(int handle, std::vector<uint64_t> slots);
+    void setPlainSlots(int handle,
+                       std::vector<std::complex<double>> slots);
+
+    RefExecutionResult run();
+
+  private:
+    const Program &prog_;
+    RefScheme scheme_;
+    BgvScheme *bgv_ = nullptr;
+    CkksScheme *ckks_ = nullptr;
+    std::map<int, std::vector<uint64_t>> bgvInputs_, bgvPlains_;
+    std::map<int, std::vector<std::complex<double>>> ckksInputs_,
+        ckksPlains_;
+};
+
+} // namespace f1
+
+#endif // F1_SIM_REFERENCE_EXECUTOR_H

@@ -1,0 +1,288 @@
+#include "workloads/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.h"
+
+namespace f1 {
+
+namespace {
+
+/**
+ * Halevi-Shoup diagonal matrix-vector product: out = W * x computed as
+ * sum_d rot(x, d) ⊙ diag_d over `diags` nonzero diagonals, followed by
+ * a rotate-and-add reduction when the output is narrower than the
+ * input. The workhorse of the LoLa networks and HELR.
+ */
+int
+diagonalMatVec(Program &p, int x, uint32_t diags, bool encrypted_weights,
+               uint32_t reduce_steps = 0)
+{
+    int acc = -1;
+    for (uint32_t d = 0; d < diags; ++d) {
+        int xr = d == 0 ? x : p.rotate(x, d);
+        int prod;
+        if (encrypted_weights) {
+            int w = p.input();
+            // Weight ciphertexts enter at the program level; align.
+            while (p.ops()[w].level > p.ops()[xr].level)
+                w = p.modSwitch(w);
+            prod = p.mul(xr, w);
+        } else {
+            prod = p.mulPlain(xr, p.inputPlainAt(p.ops()[xr].level));
+        }
+        acc = acc < 0 ? prod : p.add(acc, prod);
+    }
+    for (uint32_t s = 0; s < reduce_steps; ++s)
+        acc = p.add(acc, p.rotate(acc, 1u << s));
+    return acc;
+}
+
+/** Square activation (x^2 with rescale), LoLa's nonlinearity. */
+int
+square(Program &p, int x)
+{
+    int sq = p.mul(x, x);
+    return p.modSwitch(sq);
+}
+
+} // namespace
+
+Workload
+makeMatVec(uint32_t n, uint32_t level, uint32_t rows)
+{
+    Program p(n, level, "matvec");
+    int v = p.input();
+    for (uint32_t r = 0; r < rows; ++r) {
+        int w = p.inputPlain();
+        int prod = p.mulPlain(v, w);
+        // innerSum (Listing 2): log2(slots) rotate-and-add steps.
+        for (uint32_t s = 0; (1u << s) < n / 2; ++s)
+            prod = p.add(prod, p.rotate(prod, 1u << s));
+        p.output(prod);
+    }
+    return {std::move(p), WorkloadScheme::kBgv, n, level, 0, "-", "-"};
+}
+
+Workload
+makeLolaMnist(bool encrypted_weights, double scale)
+{
+    // LoLa-MNIST (LeNet-style): 784 -> 64 dense (conv-as-matmul),
+    // square, 64 -> 10 dense, square. Starting L: 4 (unencrypted
+    // weights) / 6 (encrypted weights), N = 8K (paper §7).
+    const uint32_t n = 8192;
+    const uint32_t level = encrypted_weights ? 6 : 4;
+    auto scaled = [&](uint32_t x) {
+        return std::max(2u, (uint32_t)(x * scale));
+    };
+    Program p(n, level,
+              encrypted_weights ? "lola-mnist-ew" : "lola-mnist-uw");
+    int x = p.input();
+    int h1 = diagonalMatVec(p, x, scaled(32), encrypted_weights, 3);
+    h1 = p.modSwitch(h1); // drop the mulPlain scale
+    h1 = square(p, h1);
+    int h2 = diagonalMatVec(p, h1, scaled(10), encrypted_weights, 2);
+    p.output(h2);
+    return {std::move(p), WorkloadScheme::kCkks, n, level,
+            0, encrypted_weights ? "5431" : "2960",
+            encrypted_weights ? "0.36" : "0.17"};
+}
+
+Workload
+makeLolaCifar(double scale)
+{
+    // LoLa-CIFAR: 6 layers (MobileNet-v3-class compute), N = 16K,
+    // L = 8. Layer widths scaled by `scale` for CPU-baseline
+    // tractability; both CPU and F1 run the identical program.
+    const uint32_t n = 16384;
+    const uint32_t level = 8;
+    auto scaled = [&](uint32_t x) {
+        return std::max(2u, (uint32_t)(x * scale));
+    };
+    Program p(n, level, "lola-cifar-uw");
+    int x = p.input();
+    const uint32_t widths[] = {scaled(128), scaled(128), scaled(64),
+                               scaled(64), scaled(32), scaled(10)};
+    int h = x;
+    for (size_t layer = 0; layer < 6; ++layer) {
+        h = diagonalMatVec(p, h, widths[layer], false,
+                           layer + 1 < 6 ? 2 : 3);
+        if (p.ops()[h].level >= 2)
+            h = p.modSwitch(h);
+        if (layer % 2 == 1 && p.ops()[h].level >= 3)
+            h = square(p, h);
+    }
+    p.output(h);
+    return {std::move(p), WorkloadScheme::kCkks, n, level, 0,
+            "1200000", "241"};
+}
+
+Workload
+makeLogReg(uint32_t features, double scale)
+{
+    // HELR (Han et al.): one batch of logistic-regression training,
+    // 256 features x 256 samples, CKKS starting at L = 16. Per
+    // iteration: z = X*w (diagonal matvec + reduction), sigmoid via
+    // degree-3 polynomial (two squaring-depth multiplies), gradient
+    // accumulation back through X^T.
+    const uint32_t n = 16384;
+    const uint32_t level = 16;
+    const uint32_t diags =
+        std::max(4u, (uint32_t)(std::sqrt((double)features) * scale *
+                                2));
+    Program p(n, level, "logreg-helr");
+    int X = p.input();  // packed samples
+    int w = p.input();  // packed weights
+    // z = X * w.
+    int z = -1;
+    for (uint32_t d = 0; d < diags; ++d) {
+        int xr = d == 0 ? X : p.rotate(X, d);
+        int wr = d == 0 ? w : p.rotate(w, d);
+        int prod = p.mul(xr, wr);
+        z = z < 0 ? prod : p.add(z, prod);
+    }
+    z = p.modSwitch(z);
+    for (uint32_t s = 0; s < log2Floor(features); ++s)
+        z = p.add(z, p.rotate(z, 1u << s));
+    // sigmoid(z) ≈ c0 + c1 z + c3 z^3.
+    int z2 = p.modSwitch(p.mul(z, z));
+    int z3 = p.modSwitch(p.mul(z2, p.modSwitch(z)));
+    int sig = p.addPlain(z3, p.inputPlainAt(p.ops()[z3].level));
+    // gradient: g = X^T * sig (second diagonal pass).
+    int Xd = p.modSwitch(p.modSwitch(p.modSwitch(X)));
+    int g = -1;
+    for (uint32_t d = 0; d < diags; ++d) {
+        int xr = d == 0 ? Xd : p.rotate(Xd, d);
+        int prod = p.mul(xr, sig);
+        g = g < 0 ? prod : p.add(g, prod);
+    }
+    g = p.modSwitch(g);
+    for (uint32_t s = 0; s < log2Floor(features); ++s)
+        g = p.add(g, p.rotate(g, 1u << s));
+    // w' = w - lr * g.
+    int lr = p.mulPlain(g, p.inputPlainAt(p.ops()[g].level));
+    p.output(p.modSwitch(lr));
+    return {std::move(p), WorkloadScheme::kCkks, n, level, 0, "8300",
+            "1.15"};
+}
+
+Workload
+makeDbLookup(uint32_t entries, double scale)
+{
+    // HElib BGV_country_db_lookup at realistic parameters (paper §7:
+    // L = 17, N = 16K): for each entry, an equality test via Fermat's
+    // little theorem (x^(t-1) with t = 65537: 16 squarings), then
+    // masked-value aggregation.
+    const uint32_t n = 16384;
+    const uint32_t level = 17;
+    (void)scale;
+    Program p(n, level, "db-lookup");
+    int query = p.input();
+    int acc = -1;
+    for (uint32_t e = 0; e < entries; ++e) {
+        // d = query - key_e (key is server-side plaintext).
+        int d = p.addPlain(query, p.inputPlain());
+        // d^(t-1) = d^(2^16): 16 squarings with modulus switching.
+        for (int s = 0; s < 16; ++s) {
+            d = p.modSwitch(d);
+            d = p.mul(d, d);
+        }
+        // mask = 1 - d^(t-1); select value_e.
+        int mask = p.addPlain(d, p.inputPlainAt(p.ops()[d].level));
+        int sel = p.mulPlain(mask, p.inputPlainAt(p.ops()[mask].level));
+        acc = acc < 0 ? sel : p.add(acc, sel);
+    }
+    // Aggregate across slots.
+    for (uint32_t s = 0; s < 4; ++s)
+        acc = p.add(acc, p.rotate(acc, 1u << s));
+    p.output(acc);
+    return {std::move(p), WorkloadScheme::kBgv, n, level, 0, "29300",
+            "4.36"};
+}
+
+Workload
+makeBgvBootstrap(uint32_t lmax, uint32_t digits)
+{
+    // Alperin-Sheriff-Peikert-style non-packed BGV bootstrapping
+    // (fhe/bootstrap.h): homomorphic inner product with Enc(s), trace
+    // (log2 N rotations), then (d-2) squarings.
+    const uint32_t n = 16384;
+    Program p(n, lmax, "bgv-bootstrap");
+    p.setAuxCount(lmax); // enables the GHS algorithmic choice (§4.2)
+    int bk = p.input(); // bootstrapping key Enc(s)
+    int u = p.mulPlain(bk, p.inputPlain()); // c~1 * Enc(s)
+    u = p.addPlain(u, p.inputPlain());      // + c~0
+    // Trace: log2(N) rotations by distinct Galois elements.
+    for (uint32_t k = 0; k < log2Exact(n); ++k)
+        u = p.add(u, p.rotate(u, (int64_t)n + k));
+    // Digit extraction: (d-2) squarings.
+    for (uint32_t s = 0; s + 2 < digits; ++s) {
+        u = p.modSwitch(u);
+        u = p.mul(u, u);
+    }
+    p.output(u);
+    return {std::move(p), WorkloadScheme::kBgv, n, lmax, lmax, "4390",
+            "2.40"};
+}
+
+Workload
+makeCkksBootstrap(uint32_t lmax)
+{
+    // HEAAN-style non-packed CKKS bootstrapping (fhe/bootstrap.h):
+    // trace after the modulus raise, sine Taylor evaluation, angle
+    // doublings.
+    const uint32_t n = 16384;
+    Program p(n, lmax, "ckks-bootstrap");
+    p.setAuxCount(lmax);
+    int u = p.input(); // the raised ciphertext
+    for (uint32_t k = 0; k < log2Exact(n); ++k)
+        u = p.add(u, p.rotate(u, (int64_t)n + k));
+    // y and Taylor powers y^2..y^7 with rescaling.
+    int y = p.modSwitch(p.mulPlain(u, p.inputPlain()));
+    int y2 = p.modSwitch(p.mul(y, y));
+    int y_d = p.modSwitch(y);
+    int y3 = p.modSwitch(p.mul(y2, y_d));
+    int y4 = p.modSwitch(p.mul(y2, y2));
+    int sin_t = p.mulPlain(y3, p.inputPlainAt(p.ops()[y3].level));
+    sin_t = p.modSwitch(sin_t);
+    int cos_t = p.mulPlain(y2, p.inputPlainAt(p.ops()[y2].level));
+    cos_t = p.modSwitch(cos_t);
+    (void)y4;
+    // 7 angle doublings: sin' = 2 sin cos, cos' = 1 - 2 sin^2.
+    for (int i = 0; i < 7; ++i) {
+        uint32_t lv = std::min(p.ops()[sin_t].level,
+                               p.ops()[cos_t].level);
+        while (p.ops()[sin_t].level > lv)
+            sin_t = p.modSwitch(sin_t);
+        while (p.ops()[cos_t].level > lv)
+            cos_t = p.modSwitch(cos_t);
+        int prod = p.modSwitch(p.mul(sin_t, cos_t));
+        int s2 = p.modSwitch(p.mul(sin_t, sin_t));
+        sin_t = p.mulPlain(prod, p.inputPlainAt(p.ops()[prod].level));
+        cos_t = p.addPlain(
+            p.mulPlain(s2, p.inputPlainAt(p.ops()[s2].level)),
+            p.inputPlainAt(p.ops()[s2].level));
+        sin_t = p.modSwitch(sin_t);
+        cos_t = p.modSwitch(cos_t);
+    }
+    p.output(sin_t);
+    return {std::move(p), WorkloadScheme::kCkks, n, lmax, lmax, "1554",
+            "1.30"};
+}
+
+std::vector<Workload>
+makeTable3Suite(double cifar_scale)
+{
+    std::vector<Workload> suite;
+    suite.push_back(makeLolaCifar(cifar_scale));
+    suite.push_back(makeLolaMnist(false));
+    suite.push_back(makeLolaMnist(true));
+    suite.push_back(makeLogReg());
+    suite.push_back(makeDbLookup());
+    suite.push_back(makeBgvBootstrap());
+    suite.push_back(makeCkksBootstrap());
+    return suite;
+}
+
+} // namespace f1

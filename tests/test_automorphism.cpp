@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for automorphisms: direct coefficient/NTT-domain maps, the
+ * composition group law, commutation with the NTT, and the chunk-local
+ * decomposed datapath of the F1 automorphism unit (paper §5.1).
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "modular/modarith.h"
+#include "modular/primes.h"
+#include "poly/automorphism.h"
+#include "poly/ntt.h"
+
+namespace f1 {
+namespace {
+
+std::vector<uint32_t>
+randomPoly(uint32_t n, uint32_t q, Rng &rng)
+{
+    std::vector<uint32_t> a(n);
+    for (auto &x : a)
+        x = static_cast<uint32_t>(rng.uniform(q));
+    return a;
+}
+
+/** Reference: apply sigma_g by scattering with signs (paper §2.2.1). */
+std::vector<uint32_t>
+sigmaReference(std::span<const uint32_t> a, uint64_t g, uint32_t q)
+{
+    const uint64_t n = a.size();
+    std::vector<uint32_t> out(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        uint64_t full = (i * g) % (2 * n);
+        uint64_t pos = full % n;
+        bool flip = full >= n;
+        out[pos] = flip ? negMod(a[i], q) : a[i];
+    }
+    return out;
+}
+
+TEST(Automorphism, CoeffMatchesScatterReference)
+{
+    const uint32_t n = 256;
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    Rng rng(1);
+    auto a = randomPoly(n, q, rng);
+    for (uint64_t g = 1; g < 2 * n; g += 2) {
+        auto ref = sigmaReference(a, g, q);
+        std::vector<uint32_t> out(n);
+        automorphismCoeff(a, out, g, q);
+        ASSERT_EQ(out, ref) << "g=" << g;
+    }
+}
+
+TEST(Automorphism, PaperFig5Example)
+{
+    // Fig. 5: sigma_3 on N=16 with identity-labeled values, E=4 chunks.
+    const uint32_t n = 16, q = 1217; // any q; no sign flips checked here
+    std::vector<uint32_t> a(n);
+    for (uint32_t i = 0; i < n; ++i)
+        a[i] = i;
+    auto out = sigmaReference(a, 3, q);
+    // Expected positions from the figure (values modulo sign).
+    const uint32_t expect[16] = {0, 11, 6, 1, 12, 7, 2, 13,
+                                 8, 3, 14, 9, 4, 15, 10, 5};
+    for (uint32_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i] % q == expect[i] || out[i] == negMod(expect[i], q),
+                  true)
+            << i;
+}
+
+TEST(Automorphism, GroupLaw)
+{
+    // σ_j(σ_k(a)) = σ_(jk mod 2N)(a).
+    const uint32_t n = 128;
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    Rng rng(2);
+    auto a = randomPoly(n, q, rng);
+    for (uint64_t j : {3ULL, 5ULL, 255ULL}) {
+        for (uint64_t k : {7ULL, 9ULL, 129ULL}) {
+            std::vector<uint32_t> t1(n), t2(n), direct(n);
+            automorphismCoeff(a, t1, k, q);
+            automorphismCoeff(t1, t2, j, q);
+            automorphismCoeff(a, direct, (j * k) % (2 * n), q);
+            EXPECT_EQ(t2, direct) << "j=" << j << " k=" << k;
+        }
+    }
+}
+
+TEST(Automorphism, IdentityAndInverse)
+{
+    const uint32_t n = 128;
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    Rng rng(3);
+    auto a = randomPoly(n, q, rng);
+    std::vector<uint32_t> out(n);
+    automorphismCoeff(a, out, 1, q);
+    EXPECT_EQ(out, a);
+    // g * g^-1 = 1 (mod 2N) recovers the input.
+    uint64_t g = 5;
+    uint64_t ginv = invOddMod2k(g, 2 * n);
+    std::vector<uint32_t> t(n);
+    automorphismCoeff(a, t, g, q);
+    automorphismCoeff(t, out, ginv, q);
+    EXPECT_EQ(out, a);
+}
+
+TEST(Automorphism, CommutesWithNtt)
+{
+    // NTT(σ_g(a)) == σ_g^ntt(NTT(a)) (paper §2.3).
+    const uint32_t n = 512;
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    NttTables tables(n, q);
+    Rng rng(4);
+    auto a = randomPoly(n, q, rng);
+    for (uint64_t g : {3ULL, 5ULL, 2ULL * n - 1, 511ULL}) {
+        std::vector<uint32_t> viaCoeff(n);
+        automorphismCoeff(a, viaCoeff, g, q);
+        tables.forward(viaCoeff);
+
+        auto ntt = a;
+        tables.forward(ntt);
+        std::vector<uint32_t> viaNtt(n);
+        automorphismNtt(ntt, viaNtt, g);
+        EXPECT_EQ(viaCoeff, viaNtt) << "g=" << g;
+    }
+}
+
+class AutDecompTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+{
+};
+
+TEST_P(AutDecompTest, DecomposedMatchesDirectAllG)
+{
+    const auto [n, lanes] = GetParam();
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    Rng rng(n ^ lanes);
+    auto a = randomPoly(n, q, rng);
+    // All odd g < 2N for small n; sampled g for large n.
+    std::vector<uint64_t> gs;
+    if (n <= 256) {
+        for (uint64_t g = 1; g < 2 * n; g += 2)
+            gs.push_back(g);
+    } else {
+        gs = {1, 3, 5, 2 * (uint64_t)n - 1, (uint64_t)n + 1, 12345 % n | 1};
+    }
+    std::vector<uint32_t> direct(n), decomposed(n);
+    for (uint64_t g : gs) {
+        automorphismCoeff(a, direct, g, q);
+        automorphismCoeffDecomposed(a, decomposed, g, q, lanes);
+        ASSERT_EQ(decomposed, direct) << "coeff g=" << g;
+        automorphismNtt(a, direct, g);
+        automorphismNttDecomposed(a, decomposed, g, lanes);
+        ASSERT_EQ(decomposed, direct) << "ntt g=" << g;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AutDecompTest,
+    ::testing::Values(std::make_tuple(16u, 4u),      // Fig. 5 shape
+                      std::make_tuple(256u, 16u),
+                      std::make_tuple(1024u, 128u),  // G < E
+                      std::make_tuple(16384u, 128u), // F1 full size
+                      std::make_tuple(4096u, 64u)));
+
+TEST(Automorphism, NttDomainHasNoSignFlips)
+{
+    // In the NTT domain the permutation is sign-free: applying it to
+    // the all-ones vector must return the all-ones vector.
+    const uint32_t n = 128;
+    std::vector<uint32_t> ones(n, 1), out(n);
+    for (uint64_t g = 1; g < 2 * n; g += 2) {
+        automorphismNtt(ones, out, g);
+        EXPECT_EQ(out, ones) << g;
+    }
+}
+
+} // namespace
+} // namespace f1

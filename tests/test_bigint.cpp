@@ -1,0 +1,117 @@
+/** @file Unit tests for the BigInt CRT-support type. */
+#include <gtest/gtest.h>
+
+#include "common/bigint.h"
+#include "common/rng.h"
+
+namespace f1 {
+namespace {
+
+TEST(BigInt, SmallRoundTrip)
+{
+    BigInt a(12345);
+    EXPECT_EQ(a.toU64(), 12345u);
+    EXPECT_EQ(a.toHex(), "3039");
+    EXPECT_FALSE(a.isZero());
+    EXPECT_TRUE(BigInt(0).isZero());
+}
+
+TEST(BigInt, AddCarryPropagation)
+{
+    BigInt a(UINT64_MAX);
+    a.addSmall(1);
+    EXPECT_EQ(a.toHex(), "10000000000000000");
+    EXPECT_EQ(a.bitLength(), 65u);
+    EXPECT_EQ(a.modSmall(3), (BigInt(UINT64_MAX).modSmall(3) + 1) % 3);
+}
+
+TEST(BigInt, SubBorrowPropagation)
+{
+    BigInt a(UINT64_MAX);
+    a.addSmall(5); // 2^64 + 4
+    BigInt b(10);
+    BigInt c = a - b;
+    EXPECT_EQ(c.toHex(), "fffffffffffffffa");
+}
+
+TEST(BigInt, MulSmallChain)
+{
+    // 2^20 multiplications stay consistent with modSmall.
+    BigInt a(1);
+    uint64_t mod = 1000000007ULL;
+    uint64_t ref = 1;
+    for (uint64_t f : {3ULL, 65537ULL, 4294967291ULL, 97ULL, 1ULL << 40}) {
+        a.mulSmall(f);
+        ref = (unsigned __int128)ref * (f % mod) % mod;
+    }
+    EXPECT_EQ(a.modSmall(mod), ref);
+}
+
+TEST(BigInt, FullProductMatchesRepeatedAddition)
+{
+    BigInt a(0xdeadbeefcafebabeULL);
+    a.mulSmall(0x123456789abcdefULL);
+    BigInt b(3);
+    BigInt prod = a * b;
+    BigInt sum = a + a + a;
+    EXPECT_EQ(prod, sum);
+}
+
+TEST(BigInt, CompareOrdering)
+{
+    BigInt small(42);
+    BigInt big(UINT64_MAX);
+    big.mulSmall(12345);
+    EXPECT_LT(small, big);
+    EXPECT_GT(big, small);
+    EXPECT_LE(small, small);
+    EXPECT_GE(big, big);
+    EXPECT_NE(small, big);
+}
+
+TEST(BigInt, ReduceBySubtraction)
+{
+    BigInt q(1);
+    q.mulSmall(0xffffffffULL);
+    q.mulSmall(0xfffffffbULL); // ~64-bit modulus
+    BigInt x = q.timesSmall(7);
+    x.addSmall(123);
+    x.reduceBySubtraction(q);
+    EXPECT_EQ(x.toU64(), 123u);
+}
+
+TEST(BigInt, ToDoubleApproximation)
+{
+    BigInt a(1);
+    a.mulSmall(1ULL << 62);
+    a.mulSmall(1ULL << 62);
+    double d = a.toDouble();
+    EXPECT_NEAR(d, 0x1.0p124, 0x1.0p74);
+}
+
+TEST(BigInt, ModSmallRandomizedAgainstInt128)
+{
+    Rng rng(7);
+    for (int it = 0; it < 200; ++it) {
+        uint64_t lo = rng.next();
+        uint64_t hi = rng.next() >> 32;
+        uint64_t m = rng.uniform((1ULL << 40) - 2) + 2;
+        BigInt a(hi);
+        a.mulSmall(1ULL << 32);
+        a.mulSmall(1ULL << 32);
+        a += BigInt(lo);
+        unsigned __int128 ref = ((unsigned __int128)hi << 64) | lo;
+        EXPECT_EQ(a.modSmall(m), (uint64_t)(ref % m));
+    }
+}
+
+TEST(BigInt, BitLengthEdgeCases)
+{
+    EXPECT_EQ(BigInt(0).bitLength(), 0u);
+    EXPECT_EQ(BigInt(1).bitLength(), 1u);
+    EXPECT_EQ(BigInt(2).bitLength(), 2u);
+    EXPECT_EQ(BigInt(UINT64_MAX).bitLength(), 64u);
+}
+
+} // namespace
+} // namespace f1

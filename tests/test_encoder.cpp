@@ -1,0 +1,195 @@
+/** @file Tests for slot ordering and the BGV/CKKS encoders. */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "fhe/encoder.h"
+#include "poly/automorphism.h"
+
+namespace f1 {
+namespace {
+
+FheParams
+smallParams()
+{
+    FheParams p;
+    p.n = 256;
+    p.maxLevel = 3;
+    p.primeBits = 28;
+    p.plainModulus = 65537; // ≡ 1 mod 2N for N <= 2^15
+    return p;
+}
+
+TEST(SlotOrder, EvalIndicesAreAPermutation)
+{
+    SlotOrder order(256);
+    std::set<uint32_t> seen;
+    for (uint32_t row = 0; row < 2; ++row)
+        for (uint32_t col = 0; col < 128; ++col)
+            seen.insert(order.evalIndex(row, col));
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(SlotOrder, RotationGaloisIsPowerOfFive)
+{
+    SlotOrder order(64);
+    EXPECT_EQ(order.rotationGalois(0), 1u);
+    EXPECT_EQ(order.rotationGalois(1), 5u);
+    EXPECT_EQ(order.rotationGalois(2), 25u);
+    // Negative rotations wrap.
+    EXPECT_EQ(order.rotationGalois(-1),
+              order.rotationGalois(order.rowSize() - 1));
+}
+
+TEST(BgvEncoder, SlotsRoundTrip)
+{
+    FheContext ctx(smallParams());
+    BgvEncoder enc(&ctx, 65537);
+    ASSERT_TRUE(enc.supportsSlots());
+    std::vector<uint64_t> slots(256);
+    for (size_t i = 0; i < slots.size(); ++i)
+        slots[i] = (i * 7919 + 13) % 65537;
+    auto coeffs = enc.encodeSlots(slots);
+    std::vector<uint64_t> back(coeffs.size());
+    for (size_t i = 0; i < coeffs.size(); ++i)
+        back[i] = coeffs[i] < 0 ? coeffs[i] + 65537 : coeffs[i];
+    EXPECT_EQ(enc.decodeSlots(back), slots);
+}
+
+TEST(BgvEncoder, SlotwiseAddAndMultiplySemantics)
+{
+    // Products of encoded polynomials act slot-wise: the algebraic
+    // basis of homomorphic SIMD (paper §2.1).
+    FheContext ctx(smallParams());
+    BgvEncoder enc(&ctx, 65537);
+    const uint64_t t = 65537;
+    std::vector<uint64_t> sa(256), sb(256);
+    for (size_t i = 0; i < 256; ++i) {
+        sa[i] = (i * 31 + 5) % t;
+        sb[i] = (i * 17 + 3) % t;
+    }
+    auto pa = enc.toPoly(enc.encodeSlots(sa), 3);
+    auto pb = enc.toPoly(enc.encodeSlots(sb), 3);
+    auto prod = pa.mul(pb);
+    prod.toCoeff();
+    // Read back mod t via exact CRT.
+    std::vector<uint64_t> coeffs(256);
+    for (size_t i = 0; i < 256; ++i) {
+        auto [mag, neg] = prod.coeffCentered(i);
+        uint64_t v = mag.modSmall(t);
+        coeffs[i] = neg && v != 0 ? t - v : v;
+    }
+    auto slots = enc.decodeSlots(coeffs);
+    for (size_t i = 0; i < 256; ++i)
+        EXPECT_EQ(slots[i], sa[i] * sb[i] % t) << i;
+}
+
+TEST(BgvEncoder, AutomorphismRotatesSlots)
+{
+    FheContext ctx(smallParams());
+    BgvEncoder enc(&ctx, 65537);
+    const uint32_t n = 256, half = 128;
+    std::vector<uint64_t> slots(n);
+    for (size_t i = 0; i < n; ++i)
+        slots[i] = i + 1;
+    auto coeffs = enc.encodeSlots(slots);
+    // Apply sigma_g (g = 5^r) on the plaintext polynomial mod t.
+    const int64_t r = 3;
+    std::vector<uint32_t> poly(n), rotated(n);
+    for (size_t i = 0; i < n; ++i)
+        poly[i] = coeffs[i] < 0 ? coeffs[i] + 65537 : coeffs[i];
+    automorphismCoeff(poly, rotated, enc.slotOrder().rotationGalois(r),
+                      65537);
+    std::vector<uint64_t> rot64(rotated.begin(), rotated.end());
+    auto got = enc.decodeSlots(rot64);
+    for (uint32_t col = 0; col < half; ++col) {
+        EXPECT_EQ(got[col], slots[(col + r) % half]) << col;
+        EXPECT_EQ(got[half + col], slots[half + (col + r) % half]);
+    }
+}
+
+TEST(BgvEncoder, ConjugationSwapsRows)
+{
+    FheContext ctx(smallParams());
+    BgvEncoder enc(&ctx, 65537);
+    const uint32_t n = 256, half = 128;
+    std::vector<uint64_t> slots(n);
+    for (size_t i = 0; i < n; ++i)
+        slots[i] = 2 * i + 3;
+    auto coeffs = enc.encodeSlots(slots);
+    std::vector<uint32_t> poly(n), swapped(n);
+    for (size_t i = 0; i < n; ++i)
+        poly[i] = coeffs[i] < 0 ? coeffs[i] + 65537 : coeffs[i];
+    automorphismCoeff(poly, swapped,
+                      enc.slotOrder().conjugationGalois(), 65537);
+    std::vector<uint64_t> sw64(swapped.begin(), swapped.end());
+    auto got = enc.decodeSlots(sw64);
+    for (uint32_t col = 0; col < half; ++col) {
+        EXPECT_EQ(got[col], slots[half + col]);
+        EXPECT_EQ(got[half + col], slots[col]);
+    }
+}
+
+TEST(BgvEncoder, NonSlotFriendlyModulusFallsBackToCoeffs)
+{
+    FheContext ctx(smallParams());
+    BgvEncoder enc(&ctx, 2);
+    EXPECT_FALSE(enc.supportsSlots());
+    std::vector<uint64_t> vals{1, 0, 1, 1};
+    auto coeffs = enc.encodeCoeffs(vals);
+    EXPECT_EQ(coeffs[0], 1);
+    EXPECT_EQ(coeffs[1], 0);
+    EXPECT_EQ(coeffs[2], 1);
+    EXPECT_THROW(enc.encodeSlots(vals), FatalError);
+}
+
+TEST(CkksEncoder, RoundTripPrecision)
+{
+    FheContext ctx(smallParams());
+    CkksEncoder enc(&ctx);
+    std::vector<std::complex<double>> slots(128);
+    for (size_t i = 0; i < slots.size(); ++i)
+        slots[i] = {std::sin(0.1 * i), std::cos(0.2 * i)};
+    auto poly = enc.encode(slots, ctx.ckksScale(), 3);
+    auto back = enc.decode(poly, ctx.ckksScale());
+    for (size_t i = 0; i < slots.size(); ++i) {
+        EXPECT_NEAR(back[i].real(), slots[i].real(), 1e-5) << i;
+        EXPECT_NEAR(back[i].imag(), slots[i].imag(), 1e-5) << i;
+    }
+}
+
+TEST(CkksEncoder, EncodedProductIsSlotwise)
+{
+    FheContext ctx(smallParams());
+    CkksEncoder enc(&ctx);
+    std::vector<std::complex<double>> sa(128), sb(128);
+    for (size_t i = 0; i < 128; ++i) {
+        sa[i] = {0.5 + 0.001 * i, -0.2};
+        sb[i] = {1.0 - 0.002 * i, 0.1};
+    }
+    const double scale = ctx.ckksScale();
+    auto pa = enc.encode(sa, scale, 3);
+    auto pb = enc.encode(sb, scale, 3);
+    auto prod = pa.mul(pb);
+    auto got = enc.decode(prod, scale * scale);
+    for (size_t i = 0; i < 128; ++i) {
+        auto want = sa[i] * sb[i];
+        EXPECT_NEAR(got[i].real(), want.real(), 1e-4) << i;
+        EXPECT_NEAR(got[i].imag(), want.imag(), 1e-4) << i;
+    }
+}
+
+TEST(CkksEncoder, ConstantEncodesToConstantSlots)
+{
+    FheContext ctx(smallParams());
+    CkksEncoder enc(&ctx);
+    auto poly = enc.encodeConstant(0.75, ctx.ckksScale(), 2);
+    auto slots = enc.decode(poly, ctx.ckksScale());
+    for (const auto &s : slots) {
+        EXPECT_NEAR(s.real(), 0.75, 1e-6);
+        EXPECT_NEAR(s.imag(), 0.0, 1e-6);
+    }
+}
+
+} // namespace
+} // namespace f1

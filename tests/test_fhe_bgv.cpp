@@ -1,0 +1,258 @@
+/**
+ * @file
+ * End-to-end BGV tests: encryption round trips, homomorphic add /
+ * multiply / rotate semantics on slots, modulus switching, noise
+ * tracking conservativeness, and both key-switching variants.
+ */
+#include <gtest/gtest.h>
+
+#include "fhe/bgv.h"
+
+namespace f1 {
+namespace {
+
+FheParams
+bgvParams(uint32_t aux = 0)
+{
+    FheParams p;
+    p.n = 256;
+    p.maxLevel = 8;
+    p.auxCount = aux;
+    p.primeBits = 28;
+    p.plainModulus = 65537;
+    return p;
+}
+
+std::vector<uint64_t>
+testSlots(uint32_t n, uint64_t t, uint64_t salt = 0)
+{
+    std::vector<uint64_t> s(n);
+    for (uint32_t i = 0; i < n; ++i)
+        s[i] = (i * 7919 + salt * 104729 + 17) % t;
+    return s;
+}
+
+class BgvVariantTest : public ::testing::TestWithParam<KeySwitchVariant>
+{
+  protected:
+    BgvVariantTest()
+        : ctx(bgvParams(GetParam() == KeySwitchVariant::kGhsExtension
+                            ? 8
+                            : 0)),
+          scheme(&ctx, 0, GetParam())
+    {
+    }
+
+    FheContext ctx;
+    BgvScheme scheme;
+};
+
+TEST_P(BgvVariantTest, EncryptDecryptRoundTrip)
+{
+    auto slots = testSlots(256, 65537);
+    auto ct = scheme.encryptSlots(slots, 5);
+    EXPECT_EQ(scheme.decryptSlots(ct), slots);
+    EXPECT_GT(scheme.noiseBudgetBits(ct), 0);
+}
+
+TEST_P(BgvVariantTest, HomomorphicAdd)
+{
+    auto sa = testSlots(256, 65537, 1);
+    auto sb = testSlots(256, 65537, 2);
+    auto ca = scheme.encryptSlots(sa, 5);
+    auto cb = scheme.encryptSlots(sb, 5);
+    auto sum = scheme.decryptSlots(scheme.add(ca, cb));
+    for (size_t i = 0; i < sa.size(); ++i)
+        EXPECT_EQ(sum[i], (sa[i] + sb[i]) % 65537);
+}
+
+TEST_P(BgvVariantTest, HomomorphicMultiply)
+{
+    auto sa = testSlots(256, 65537, 3);
+    auto sb = testSlots(256, 65537, 4);
+    auto ca = scheme.encryptSlots(sa, 5);
+    auto cb = scheme.encryptSlots(sb, 5);
+    auto prod = scheme.decryptSlots(scheme.mul(ca, cb));
+    for (size_t i = 0; i < sa.size(); ++i)
+        EXPECT_EQ(prod[i], sa[i] * sb[i] % 65537) << i;
+}
+
+TEST_P(BgvVariantTest, HomomorphicRotation)
+{
+    auto slots = testSlots(256, 65537, 5);
+    auto ct = scheme.encryptSlots(slots, 5);
+    for (int64_t r : {1, 3, 60}) {
+        auto rot = scheme.decryptSlots(scheme.rotate(ct, r));
+        for (uint32_t col = 0; col < 128; ++col) {
+            EXPECT_EQ(rot[col], slots[(col + r) % 128])
+                << "r=" << r << " col=" << col;
+            EXPECT_EQ(rot[128 + col], slots[128 + (col + r) % 128]);
+        }
+    }
+}
+
+TEST_P(BgvVariantTest, MultiplyThenModSwitch)
+{
+    auto sa = testSlots(256, 65537, 6);
+    auto sb = testSlots(256, 65537, 7);
+    auto ca = scheme.encryptSlots(sa, 5);
+    auto cb = scheme.encryptSlots(sb, 5);
+    auto prod = scheme.modSwitch(scheme.mul(ca, cb));
+    EXPECT_EQ(prod.level(), 4u);
+    auto got = scheme.decryptSlots(prod);
+    for (size_t i = 0; i < sa.size(); ++i)
+        EXPECT_EQ(got[i], sa[i] * sb[i] % 65537) << i;
+}
+
+TEST_P(BgvVariantTest, MultiplicativeDepthChain)
+{
+    // Depth-3 chain with modulus switching before each multiply
+    // (paper §2.2.2 usage pattern). Starts three levels above the
+    // final budget so the conservative tracker stays positive.
+    const uint64_t t = 65537;
+    std::vector<uint64_t> s(256, 3);
+    auto ct = scheme.encryptSlots(s, 8);
+    uint64_t expect = 3;
+    for (int depth = 0; depth < 3; ++depth) {
+        ct = scheme.modSwitch(ct);
+        ct = scheme.mul(ct, ct);
+        expect = expect * expect % t;
+        ASSERT_GT(scheme.noiseBudgetBits(ct), 0) << "depth " << depth;
+    }
+    auto got = scheme.decryptSlots(ct);
+    for (auto v : got)
+        EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, BgvVariantTest,
+                         ::testing::Values(KeySwitchVariant::kDigitLxL,
+                                           KeySwitchVariant::kGhsExtension));
+
+class BgvTest : public ::testing::Test
+{
+  protected:
+    BgvTest() : ctx(bgvParams()), scheme(&ctx) {}
+    FheContext ctx;
+    BgvScheme scheme;
+};
+
+TEST_F(BgvTest, AddAndMulPlain)
+{
+    auto sa = testSlots(256, 65537, 8);
+    auto sb = testSlots(256, 65537, 9);
+    auto ct = scheme.encryptSlots(sa, 4);
+    auto coeffs = scheme.encoder().encodeSlots(sb);
+    auto sum = scheme.decryptSlots(scheme.addPlain(ct, coeffs));
+    auto prod = scheme.decryptSlots(scheme.mulPlain(ct, coeffs));
+    for (size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_EQ(sum[i], (sa[i] + sb[i]) % 65537);
+        EXPECT_EQ(prod[i], sa[i] * sb[i] % 65537);
+    }
+}
+
+TEST_F(BgvTest, ConjugateSwapsRows)
+{
+    auto slots = testSlots(256, 65537, 10);
+    auto ct = scheme.encryptSlots(slots, 4);
+    auto got = scheme.decryptSlots(scheme.conjugate(ct));
+    for (uint32_t col = 0; col < 128; ++col) {
+        EXPECT_EQ(got[col], slots[128 + col]);
+        EXPECT_EQ(got[128 + col], slots[col]);
+    }
+}
+
+TEST_F(BgvTest, InnerSumViaRotations)
+{
+    // The running example of the paper (Listing 2): log2(slots)
+    // rotate+add steps replicate the sum across all slots.
+    const uint64_t t = 65537;
+    std::vector<uint64_t> slots(256, 0);
+    uint64_t expect = 0;
+    for (uint32_t i = 0; i < 128; ++i) {
+        slots[i] = i + 1;
+        slots[128 + i] = i + 1; // both rows identical
+        expect = (expect + i + 1) % t;
+    }
+    auto ct = scheme.encryptSlots(slots, 5);
+    for (uint32_t step = 1; step < 128; step <<= 1)
+        ct = scheme.add(ct, scheme.rotate(ct, step));
+    auto got = scheme.decryptSlots(ct);
+    for (auto v : got)
+        EXPECT_EQ(v, expect);
+}
+
+TEST_F(BgvTest, NoiseTrackerIsConservative)
+{
+    auto slots = testSlots(256, 65537, 11);
+    auto ct = scheme.encryptSlots(slots, 5);
+    EXPECT_GE(ct.noiseBits, scheme.measuredNoiseBits(ct));
+    auto prod = scheme.mul(ct, ct);
+    EXPECT_GE(prod.noiseBits, scheme.measuredNoiseBits(prod));
+    auto ms = scheme.modSwitch(prod);
+    EXPECT_GE(ms.noiseBits, scheme.measuredNoiseBits(ms));
+    auto rot = scheme.rotate(ms, 2);
+    EXPECT_GE(rot.noiseBits, scheme.measuredNoiseBits(rot));
+}
+
+TEST_F(BgvTest, ModSwitchReducesMeasuredNoiseRatio)
+{
+    // Modulus switching keeps noise/Q roughly constant in absolute
+    // bits but removes a full prime from the modulus; the budget
+    // should shrink by at most ~the prime size while the *absolute*
+    // noise drops by about the prime size.
+    auto slots = testSlots(256, 65537, 12);
+    auto ct = scheme.encryptSlots(slots, 5);
+    auto prod = scheme.mul(ct, ct);
+    double before = scheme.measuredNoiseBits(prod);
+    auto ms = scheme.modSwitch(prod);
+    double after = scheme.measuredNoiseBits(ms);
+    EXPECT_LT(after, before - 20); // dropped ~28-bit prime
+    EXPECT_EQ(scheme.decryptSlots(ms), scheme.decryptSlots(prod));
+}
+
+TEST_F(BgvTest, MulAfterDeepChainFailsPredictably)
+{
+    // Without modulus switching, repeated squaring must eventually
+    // exhaust the budget, and the tracker must flag it before
+    // decryption actually breaks.
+    std::vector<uint64_t> s(256, 2);
+    auto ct = scheme.encryptSlots(s, 2); // only 2 primes: tiny budget
+    uint64_t expect = 2;
+    bool tracker_flagged = false;
+    for (int i = 0; i < 4; ++i) {
+        ct = scheme.mul(ct, ct);
+        expect = expect * expect % 65537;
+        if (scheme.noiseBudgetBits(ct) <= 0) {
+            tracker_flagged = true;
+            break;
+        }
+        ASSERT_EQ(scheme.decryptSlots(ct)[0], expect)
+            << "tracker approved a broken ciphertext";
+    }
+    EXPECT_TRUE(tracker_flagged);
+}
+
+TEST_F(BgvTest, CoefficientEncryptionWithT2)
+{
+    BgvScheme binary(&ctx, 2);
+    std::vector<uint64_t> bits(256);
+    for (size_t i = 0; i < bits.size(); ++i)
+        bits[i] = (i * i + 3 * i) % 2;
+    auto ct = binary.encryptCoeffs(bits, 4);
+    EXPECT_EQ(binary.decryptCoeffs(ct), bits);
+    // XOR = addition mod 2.
+    auto both = binary.add(ct, ct);
+    for (auto v : binary.decryptCoeffs(both))
+        EXPECT_EQ(v, 0u);
+}
+
+TEST_F(BgvTest, EncryptAtLowerLevel)
+{
+    auto slots = testSlots(256, 65537, 13);
+    auto ct = scheme.encryptSlots(slots, 2);
+    EXPECT_EQ(ct.level(), 2u);
+    EXPECT_EQ(scheme.decryptSlots(ct), slots);
+}
+
+} // namespace
+} // namespace f1

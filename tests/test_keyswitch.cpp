@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Direct tests of the key-switching core (paper §2.4, Listing 1):
+ * digit decomposition invariants, hint sizes, agreement between the
+ * two variants, and the modulus-switching primitive.
+ */
+#include <gtest/gtest.h>
+
+#include "fhe/basis_extend.h"
+#include "fhe/keyswitch.h"
+#include "modular/modarith.h"
+
+namespace f1 {
+namespace {
+
+FheParams
+params()
+{
+    FheParams p;
+    p.n = 128;
+    p.maxLevel = 4;
+    p.auxCount = 4;
+    p.primeBits = 28;
+    p.plainModulus = 257; // 257 ≡ 1 mod 256 = 2N: slot-friendly at N=128
+    return p;
+}
+
+class KeySwitchTest : public ::testing::Test
+{
+  protected:
+    KeySwitchTest()
+        : ctx(params()), sw(&ctx), rng(123), sk(sw.keyGen(rng))
+    {
+    }
+
+    /** Noise of (u0 + u1*s) - x*w, max |coefficient| in bits. */
+    double
+    switchError(const RnsPoly &x, const RnsPoly &w,
+                const std::pair<RnsPoly, RnsPoly> &u)
+    {
+        const size_t level = x.levels();
+        RnsPoly got = u.first;
+        got += u.second.mul(sk.s.restricted(level));
+        RnsPoly want = x.mul(w.restricted(level));
+        got -= want;
+        got.toCoeff();
+        size_t bits = 0;
+        for (uint32_t i = 0; i < ctx.n(); ++i) {
+            auto [mag, neg] = got.coeffCentered(i);
+            bits = std::max(bits, mag.bitLength());
+        }
+        return static_cast<double>(bits);
+    }
+
+    FheContext ctx;
+    KeySwitcher sw;
+    Rng rng;
+    SecretKey sk;
+};
+
+TEST_F(KeySwitchTest, DigitDecompositionReconstructs)
+{
+    // sum_i x~_i * P_i ≡ x (mod every q_j): check residue-wise using
+    // the selector identity P_i ≡ δ_ij.
+    auto x = RnsPoly::uniform(ctx.polyContext(), 3, rng);
+    auto digits = digitDecomposeLift(x);
+    ASSERT_EQ(digits.size(), 3u);
+    // Residue j of the reconstruction = digit j's residue j.
+    for (size_t j = 0; j < 3; ++j) {
+        EXPECT_TRUE(std::equal(digits[j].residue(j).begin(),
+                               digits[j].residue(j).end(),
+                               x.residue(j).begin()));
+    }
+    // Each digit is small: its coefficient-form residues agree across
+    // moduli (they lift a single small integer).
+    auto d0 = digits[0];
+    d0.toCoeff();
+    const uint32_t q0 = ctx.polyContext()->modulus(0);
+    const uint32_t q1 = ctx.polyContext()->modulus(1);
+    for (uint32_t i = 0; i < ctx.n(); ++i) {
+        int64_t v0 = d0.residue(0)[i] > q0 / 2
+                         ? (int64_t)d0.residue(0)[i] - q0
+                         : d0.residue(0)[i];
+        int64_t v1 = d0.residue(1)[i] > q1 / 2
+                         ? (int64_t)d0.residue(1)[i] - q1
+                         : d0.residue(1)[i];
+        EXPECT_EQ(v0, v1) << i;
+    }
+}
+
+TEST_F(KeySwitchTest, DigitVariantSwitchesCorrectly)
+{
+    const size_t level = 4;
+    auto w = sk.s.automorphism(5); // a realistic source key
+    auto hint = sw.makeHint(w, sk, level, 257, KeySwitchVariant::kDigitLxL,
+                            rng);
+    auto x = RnsPoly::uniform(ctx.polyContext(), level, rng);
+    auto u = sw.apply(x, hint, 257);
+    // Error must be far below Q (112 bits here).
+    EXPECT_LT(switchError(x, w, u), ctx.logQ(level) - 20);
+}
+
+TEST_F(KeySwitchTest, GhsVariantSwitchesCorrectly)
+{
+    const size_t level = 4;
+    auto w = sk.s.mul(sk.s);
+    auto hint = sw.makeHint(w, sk, level, 257,
+                            KeySwitchVariant::kGhsExtension, rng);
+    auto x = RnsPoly::uniform(ctx.polyContext(), level, rng);
+    auto u = sw.apply(x, hint, 257);
+    EXPECT_LT(switchError(x, w, u), ctx.logQ(level) - 20);
+}
+
+TEST_F(KeySwitchTest, GhsNoiseLowerThanDigit)
+{
+    // GHS divides the hint noise by P ≈ Q, so its additive error is
+    // materially smaller than the digit variant's.
+    const size_t level = 4;
+    auto w = sk.s.mul(sk.s);
+    auto x = RnsPoly::uniform(ctx.polyContext(), level, rng);
+    auto hintA = sw.makeHint(w, sk, level, 257,
+                             KeySwitchVariant::kDigitLxL, rng);
+    auto hintB = sw.makeHint(w, sk, level, 257,
+                             KeySwitchVariant::kGhsExtension, rng);
+    double errA = switchError(x, w, sw.apply(x, hintA, 257));
+    double errB = switchError(x, w, sw.apply(x, hintB, 257));
+    EXPECT_LT(errB, errA);
+}
+
+TEST_F(KeySwitchTest, HintSizesMatchPaperScaling)
+{
+    // Variant A (hybrid): 2 * L * (L+1) residue vectors, the paper's
+    // O(L^2); variant B: 2 * (L + K), the paper's O(L).
+    auto w = sk.s.mul(sk.s);
+    for (size_t level : {2u, 3u, 4u}) {
+        auto ha = sw.makeHint(w, sk, level, 257,
+                              KeySwitchVariant::kDigitLxL, rng);
+        EXPECT_EQ(ha.sizeRVecs(), 2 * level * (level + 1));
+        auto hb = sw.makeHint(w, sk, level, 257,
+                              KeySwitchVariant::kGhsExtension, rng);
+        EXPECT_EQ(hb.sizeRVecs(), 2 * (level + ctx.auxCount()));
+    }
+    // At L = 16, N = 16K the paper reports 32 MB per hint set
+    // (2 * 16 * 16 RVecs of 64 KB); the hybrid adds one special
+    // residue per digit (34 MB).
+    EXPECT_EQ(2 * 16 * 16 * 16384 * 4, 32u << 20);
+}
+
+TEST_F(KeySwitchTest, BasisExtensionExact)
+{
+    // Extended residues must equal the centered value's residues.
+    const size_t level = 3;
+    std::vector<int64_t> coeffs(ctx.n());
+    Rng r2(5);
+    for (auto &c : coeffs)
+        c = static_cast<int64_t>(r2.uniform(1000001)) - 500000;
+    auto x = RnsPoly::fromSigned(ctx.polyContext(), level, coeffs,
+                                 Domain::kCoeff);
+    std::vector<size_t> src{0, 1, 2}, dst{4, 5}; // aux primes
+    BasisExtender be(ctx.polyContext(), src, dst);
+    std::vector<uint32_t> in(level * ctx.n());
+    for (size_t i = 0; i < level; ++i)
+        std::copy(x.residue(i).begin(), x.residue(i).end(),
+                  in.begin() + i * ctx.n());
+    std::vector<uint32_t> out(2 * ctx.n());
+    be.extend(in, ctx.n(), out);
+    for (size_t k = 0; k < 2; ++k) {
+        const uint32_t p = ctx.polyContext()->modulus(dst[k]);
+        for (uint32_t i = 0; i < ctx.n(); ++i) {
+            int64_t v = coeffs[i] % (int64_t)p;
+            if (v < 0)
+                v += p;
+            EXPECT_EQ(out[k * ctx.n() + i], (uint32_t)v)
+                << "k=" << k << " i=" << i;
+        }
+    }
+}
+
+TEST_F(KeySwitchTest, DropLastModulusPreservesValueScaled)
+{
+    // For a polynomial with small coefficients v, (v*q_last - delta)/
+    // q_last must give back v exactly (delta ≡ 0 when divisible).
+    const size_t level = 3;
+    std::vector<int64_t> coeffs(ctx.n());
+    for (uint32_t i = 0; i < ctx.n(); ++i)
+        coeffs[i] = (int64_t)(i % 97) - 48;
+    const uint32_t q_last = ctx.polyContext()->modulus(level - 1);
+    std::vector<int64_t> scaled(ctx.n());
+    for (uint32_t i = 0; i < ctx.n(); ++i)
+        scaled[i] = coeffs[i] * (int64_t)q_last;
+    auto p = RnsPoly::fromSigned(ctx.polyContext(), level, scaled);
+    dropLastModulusRounded(p, 1);
+    EXPECT_EQ(p.levels(), level - 1);
+    p.toCoeff();
+    for (uint32_t i = 0; i < ctx.n(); ++i) {
+        auto [mag, neg] = p.coeffCentered(i);
+        int64_t v = (int64_t)mag.toU64() * (neg ? -1 : 1);
+        EXPECT_EQ(v, coeffs[i]) << i;
+    }
+}
+
+TEST_F(KeySwitchTest, HintLevelMismatchRejected)
+{
+    auto w = sk.s.mul(sk.s);
+    auto hint = sw.makeHint(w, sk, 3, 257, KeySwitchVariant::kDigitLxL,
+                            rng);
+    auto x = RnsPoly::uniform(ctx.polyContext(), 4, rng);
+    EXPECT_THROW(sw.apply(x, hint, 257), PanicError);
+}
+
+} // namespace
+} // namespace f1

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the negacyclic NTT: round trips, agreement with the O(n^2)
+ * reference transform, convolution semantics, linearity, and the
+ * four-step hardware datapath (paper §5.2).
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "modular/modarith.h"
+#include "modular/primes.h"
+#include "poly/fourstep.h"
+#include "poly/ntt.h"
+#include "poly/transpose.h"
+
+namespace f1 {
+namespace {
+
+std::vector<uint32_t>
+randomPoly(uint32_t n, uint32_t q, Rng &rng)
+{
+    std::vector<uint32_t> a(n);
+    for (auto &x : a)
+        x = static_cast<uint32_t>(rng.uniform(q));
+    return a;
+}
+
+class NttParamTest : public ::testing::TestWithParam<uint32_t>
+{
+  protected:
+    uint32_t n() const { return GetParam(); }
+    uint32_t q() const { return generateNttPrimes(1, 28, n())[0]; }
+};
+
+TEST_P(NttParamTest, RoundTrip)
+{
+    NttTables t(n(), q());
+    Rng rng(n());
+    auto a = randomPoly(n(), q(), rng);
+    auto orig = a;
+    t.forward(a);
+    t.inverse(a);
+    EXPECT_EQ(a, orig);
+}
+
+TEST_P(NttParamTest, MatchesSlowReference)
+{
+    if (n() > 512)
+        GTEST_SKIP() << "O(n^2) reference too slow";
+    NttTables t(n(), q());
+    Rng rng(n() + 1);
+    auto a = randomPoly(n(), q(), rng);
+    auto ref = slowNegacyclicNtt(a, q(), t.psi());
+    t.forward(a);
+    EXPECT_EQ(a, ref);
+}
+
+TEST_P(NttParamTest, PointwiseMulIsNegacyclicConvolution)
+{
+    if (n() > 512)
+        GTEST_SKIP() << "O(n^2) reference too slow";
+    const uint32_t qq = q();
+    NttTables t(n(), qq);
+    Rng rng(n() + 2);
+    auto a = randomPoly(n(), qq, rng);
+    auto b = randomPoly(n(), qq, rng);
+    auto ref = slowNegacyclicMul(a, b, qq);
+    t.forward(a);
+    t.forward(b);
+    for (uint32_t i = 0; i < n(); ++i)
+        a[i] = mulMod(a[i], b[i], qq);
+    t.inverse(a);
+    EXPECT_EQ(a, ref);
+}
+
+TEST_P(NttParamTest, Linearity)
+{
+    const uint32_t qq = q();
+    NttTables t(n(), qq);
+    Rng rng(n() + 3);
+    auto a = randomPoly(n(), qq, rng);
+    auto b = randomPoly(n(), qq, rng);
+    std::vector<uint32_t> sum(n());
+    for (uint32_t i = 0; i < n(); ++i)
+        sum[i] = addMod(a[i], b[i], qq);
+    t.forward(a);
+    t.forward(b);
+    t.forward(sum);
+    for (uint32_t i = 0; i < n(); ++i)
+        EXPECT_EQ(sum[i], addMod(a[i], b[i], qq));
+}
+
+TEST_P(NttParamTest, FourStepMatchesIterative)
+{
+    const uint32_t qq = q();
+    NttTables t(n(), qq);
+    // E = 128 as in F1; also test a small E to exercise G > 1 cases.
+    for (uint32_t lanes : {128u, 64u}) {
+        if (n() > (uint64_t)lanes * lanes)
+            continue;
+        FourStepNtt fs(t, lanes);
+        Rng rng(n() + lanes);
+        auto a = randomPoly(n(), qq, rng);
+        auto b = a;
+        t.forward(a);
+        fs.forward(b);
+        EXPECT_EQ(a, b) << "forward, lanes=" << lanes;
+        t.inverse(a);
+        fs.inverse(b);
+        EXPECT_EQ(a, b) << "inverse, lanes=" << lanes;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NttParamTest,
+                         ::testing::Values(128u, 256u, 512u, 1024u, 2048u,
+                                           4096u, 8192u, 16384u));
+
+TEST(Ntt, ImpulseTransformsToConstantOne)
+{
+    // NTT(1) = all-ones: the constant polynomial evaluates to 1 at
+    // every root.
+    const uint32_t n = 256;
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    NttTables t(n, q);
+    std::vector<uint32_t> a(n, 0);
+    a[0] = 1;
+    t.forward(a);
+    for (uint32_t i = 0; i < n; ++i)
+        EXPECT_EQ(a[i], 1u);
+}
+
+TEST(Ntt, MonomialXHasPsiOddPowers)
+{
+    // NTT(x)[k] = psi^(2k+1).
+    const uint32_t n = 256;
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    NttTables t(n, q);
+    std::vector<uint32_t> a(n, 0);
+    a[1] = 1;
+    t.forward(a);
+    for (uint32_t k = 0; k < n; ++k)
+        EXPECT_EQ(a[k], powMod(t.psi(), 2 * k + 1, q));
+}
+
+TEST(Ntt, XToTheNIsMinusOne)
+{
+    // (x^(n/2))^2 = x^n = -1 mod (x^n + 1): squaring the monomial
+    // x^(n/2) via the NTT must give the constant -1.
+    const uint32_t n = 128;
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    NttTables t(n, q);
+    std::vector<uint32_t> a(n, 0);
+    a[n / 2] = 1;
+    t.forward(a);
+    for (uint32_t i = 0; i < n; ++i)
+        a[i] = mulMod(a[i], a[i], q);
+    t.inverse(a);
+    EXPECT_EQ(a[0], q - 1);
+    for (uint32_t i = 1; i < n; ++i)
+        EXPECT_EQ(a[i], 0u);
+}
+
+TEST(Ntt, CyclicForwardInverseRoundTripSubLengths)
+{
+    const uint32_t n = 1024;
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    NttTables t(n, q);
+    Rng rng(99);
+    for (uint32_t len : {2u, 8u, 64u, 256u, 1024u}) {
+        auto a = randomPoly(len, q, rng);
+        auto orig = a;
+        t.cyclicForward(a);
+        t.cyclicInverse(a);
+        EXPECT_EQ(a, orig) << "len=" << len;
+    }
+}
+
+TEST(Ntt, RejectsNonNttFriendlyModulus)
+{
+    // 786433 = 3*2^18+1 supports N up to 2^17 but 65537 only N <= 2^15.
+    EXPECT_THROW(NttTables(65536, 65537), FatalError);
+}
+
+TEST(Transpose, QuadrantSwapMatchesDirect)
+{
+    Rng rng(5);
+    for (size_t dim : {2u, 4u, 8u, 16u, 32u, 128u}) {
+        std::vector<uint32_t> m(dim * dim);
+        for (auto &x : m)
+            x = static_cast<uint32_t>(rng.next());
+        std::vector<uint32_t> ref(dim * dim);
+        transposeDirect<uint32_t>(m, ref, dim, dim);
+        transposeQuadrantSwap<uint32_t>(m, dim);
+        EXPECT_EQ(m, ref) << "dim=" << dim;
+    }
+}
+
+TEST(Transpose, QuadrantSwapIsInvolution)
+{
+    Rng rng(6);
+    std::vector<uint32_t> m(64 * 64);
+    for (auto &x : m)
+        x = static_cast<uint32_t>(rng.next());
+    auto orig = m;
+    transposeQuadrantSwap<uint32_t>(m, 64);
+    transposeQuadrantSwap<uint32_t>(m, 64);
+    EXPECT_EQ(m, orig);
+}
+
+} // namespace
+} // namespace f1

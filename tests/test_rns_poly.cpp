@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for RnsPoly and PolyContext: CRT consistency, domain tracking,
+ * arithmetic semantics, and level manipulation.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "modular/modarith.h"
+#include "modular/primes.h"
+#include "poly/rns_poly.h"
+
+namespace f1 {
+namespace {
+
+class RnsPolyTest : public ::testing::Test
+{
+  protected:
+    RnsPolyTest()
+        : moduli(generateNttPrimes(4, 28, 256)), ctx(256, moduli),
+          rng(42)
+    {
+    }
+
+    std::vector<uint32_t> moduli;
+    PolyContext ctx;
+    Rng rng;
+};
+
+TEST_F(RnsPolyTest, FromSignedRoundTripsThroughCrt)
+{
+    std::vector<int64_t> coeffs(ctx.n());
+    for (auto &c : coeffs)
+        c = static_cast<int64_t>(rng.uniform(2000001)) - 1000000;
+    auto p = RnsPoly::fromSigned(&ctx, 4, coeffs, Domain::kCoeff);
+    for (size_t j = 0; j < ctx.n(); j += 17) {
+        auto [mag, neg] = p.coeffCentered(j);
+        int64_t v = static_cast<int64_t>(mag.toU64()) * (neg ? -1 : 1);
+        EXPECT_EQ(v, coeffs[j]) << j;
+    }
+}
+
+TEST_F(RnsPolyTest, AddSubNegateSemantics)
+{
+    auto a = RnsPoly::uniform(&ctx, 4, rng);
+    auto b = RnsPoly::uniform(&ctx, 4, rng);
+    auto sum = a + b;
+    auto diff = sum - b;
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(std::equal(diff.residue(i).begin(),
+                               diff.residue(i).end(),
+                               a.residue(i).begin()));
+    auto neg = a;
+    neg.negate();
+    auto zero = a + neg;
+    for (size_t i = 0; i < 4; ++i)
+        for (uint32_t x : zero.residue(i))
+            EXPECT_EQ(x, 0u);
+}
+
+TEST_F(RnsPolyTest, NttDomainMulMatchesCoeffConvolution)
+{
+    // (a*b) computed in NTT domain equals schoolbook negacyclic
+    // convolution on each residue.
+    std::vector<int64_t> ca(ctx.n(), 0), cb(ctx.n(), 0);
+    ca[0] = 3;
+    ca[1] = -2;
+    cb[0] = 5;
+    cb[2] = 7;
+    auto a = RnsPoly::fromSigned(&ctx, 4, ca);
+    auto b = RnsPoly::fromSigned(&ctx, 4, cb);
+    auto prod = a.mul(b);
+    prod.toCoeff();
+    // (3 - 2x)(5 + 7x^2) = 15 - 10x + 21x^2 - 14x^3
+    auto check = [&](size_t idx, int64_t want) {
+        auto [mag, isNeg] = prod.coeffCentered(idx);
+        int64_t v = static_cast<int64_t>(mag.toU64()) * (isNeg ? -1 : 1);
+        EXPECT_EQ(v, want) << "coeff " << idx;
+    };
+    check(0, 15);
+    check(1, -10);
+    check(2, 21);
+    check(3, -14);
+    for (size_t j = 4; j < ctx.n(); ++j)
+        check(j, 0);
+}
+
+TEST_F(RnsPolyTest, MulRequiresNttDomain)
+{
+    auto a = RnsPoly::uniform(&ctx, 4, rng, Domain::kCoeff);
+    auto b = RnsPoly::uniform(&ctx, 4, rng, Domain::kCoeff);
+    EXPECT_THROW(a.mulEq(b), PanicError);
+}
+
+TEST_F(RnsPolyTest, DomainConversionsAreInverse)
+{
+    auto a = RnsPoly::uniform(&ctx, 4, rng, Domain::kCoeff);
+    auto orig = a.raw();
+    a.toNtt();
+    EXPECT_EQ(a.domain(), Domain::kNtt);
+    a.toCoeff();
+    EXPECT_EQ(a.raw(), orig);
+}
+
+TEST_F(RnsPolyTest, AutomorphismConsistentAcrossDomains)
+{
+    auto a = RnsPoly::uniform(&ctx, 4, rng, Domain::kCoeff);
+    auto viaCoeff = a.automorphism(5);
+    viaCoeff.toNtt();
+    auto b = a;
+    b.toNtt();
+    auto viaNtt = b.automorphism(5);
+    EXPECT_EQ(viaCoeff.raw(), viaNtt.raw());
+}
+
+TEST_F(RnsPolyTest, DropLastResidueShrinks)
+{
+    auto a = RnsPoly::uniform(&ctx, 4, rng);
+    auto r0 = std::vector<uint32_t>(a.residue(0).begin(),
+                                    a.residue(0).end());
+    a.dropLastResidue();
+    EXPECT_EQ(a.levels(), 3u);
+    EXPECT_TRUE(std::equal(a.residue(0).begin(), a.residue(0).end(),
+                           r0.begin()));
+    a.appendZeroResidues(1);
+    EXPECT_EQ(a.levels(), 4u);
+    for (uint32_t x : a.residue(3))
+        EXPECT_EQ(x, 0u);
+}
+
+TEST_F(RnsPolyTest, MulScalarMatchesPerResidue)
+{
+    auto a = RnsPoly::uniform(&ctx, 4, rng);
+    auto b = a;
+    a.mulScalar(12345);
+    std::vector<uint32_t> scalars;
+    for (size_t i = 0; i < 4; ++i)
+        scalars.push_back(12345 % ctx.modulus(i));
+    b.mulScalarPerResidue(scalars);
+    EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST_F(RnsPolyTest, ModulusProductMatchesBigIntMultiply)
+{
+    BigInt expect(1);
+    for (size_t i = 0; i < 3; ++i)
+        expect.mulSmall(moduli[i]);
+    EXPECT_EQ(ctx.modulusProduct(3), expect);
+}
+
+TEST_F(RnsPolyTest, UniformValuesAreReduced)
+{
+    auto a = RnsPoly::uniform(&ctx, 4, rng);
+    for (size_t i = 0; i < 4; ++i)
+        for (uint32_t x : a.residue(i))
+            EXPECT_LT(x, ctx.modulus(i));
+}
+
+} // namespace
+} // namespace f1

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Workload-builder tests: every Table 3 program builds, translates,
+ * and schedules; op mixes match the algorithms they model.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "workloads/workloads.h"
+
+namespace f1 {
+namespace {
+
+TEST(Workloads, AllTable3ProgramsCompileAndSchedule)
+{
+    F1Config cfg;
+    for (auto &w : makeTable3Suite(/*cifar_scale=*/0.05)) {
+        SCOPED_TRACE(w.program.name());
+        auto res = compileProgram(w.program, cfg);
+        EXPECT_GT(res.schedule.cycles, 0u);
+        EXPECT_GT(res.schedule.traffic.kshCompulsory, 0u);
+        EXPECT_LE(res.memory.peakResidentRVecs,
+                  cfg.scratchSlots(w.program.n()));
+    }
+}
+
+TEST(Workloads, DbLookupDepthMatchesFermatTest)
+{
+    // 16 squarings (t-1 = 2^16) from L=17 must land at L=1.
+    auto w = makeDbLookup(1);
+    uint32_t min_level = UINT32_MAX;
+    for (const auto &op : w.program.ops())
+        min_level = std::min(min_level, op.level);
+    EXPECT_EQ(min_level, 1u);
+    EXPECT_EQ(w.program.startLevel(), 17u);
+}
+
+TEST(Workloads, BootstrapProgramsUseGhsChoice)
+{
+    // At L_max = 24 the translator's algorithmic choice must pick the
+    // GHS variant (paper §4.2 / §7 "exercises the scheduler's
+    // algorithmic choice component").
+    auto w = makeBgvBootstrap();
+    auto tr = translateProgram(w.program);
+    // GHS hints are O(L): far below the digit variant's 2*L*(L+1).
+    EXPECT_LT(tr.hintRVecs / w.program.hintCount(),
+              2u * 24 * 25 / 2);
+}
+
+TEST(Workloads, MnistEncryptedWeightsCostsMore)
+{
+    F1Config cfg;
+    auto uw = compileProgram(makeLolaMnist(false).program, cfg);
+    auto ew = compileProgram(makeLolaMnist(true).program, cfg);
+    EXPECT_GT(ew.schedule.cycles, uw.schedule.cycles);
+}
+
+TEST(Workloads, KshTrafficDominatesDeepPrograms)
+{
+    // Fig. 9a's headline: key-switch hints dominate off-chip traffic
+    // in deep workloads.
+    F1Config cfg;
+    auto res = compileProgram(makeDbLookup(2).program, cfg);
+    const auto &t = res.schedule.traffic;
+    EXPECT_GT(t.kshCompulsory + t.kshNonCompulsory,
+              t.total() / 2);
+}
+
+} // namespace
+} // namespace f1
