@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Limb-parallel scaling microbench: sweeps the global pool over
+ * 1/2/4/8 threads and N ∈ {4096, 16384, 65536} for the three RNS hot
+ * kernels (batched NTT over all limbs, CRT basis extension, GHS
+ * key-switching) and emits one JSON document on stdout so successive
+ * PRs accumulate a perf trajectory. Every threaded run is compared
+ * byte-for-byte against the serial reference; `bit_identical` records
+ * the outcome.
+ *
+ * Usage: bench_parallel_scaling [--smoke]
+ *   --smoke  CI regression canary: N = 4096, threads {1, 2}, few reps.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "fhe/basis_extend.h"
+#include "fhe/fhe_context.h"
+#include "fhe/keyswitch.h"
+#include "modular/primes.h"
+#include "poly/rns_poly.h"
+
+namespace f1::bench {
+namespace {
+
+constexpr size_t kLimbs = 8; //!< batched-NTT limb count per poly
+
+double
+nowMs()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+struct KernelResult
+{
+    std::vector<uint32_t> output; //!< compared across thread counts
+    double msPerOp = 0;
+};
+
+/** Batched negacyclic NTT across all kLimbs limbs of one RnsPoly. */
+KernelResult
+runNttBatch(const PolyContext &ctx, size_t reps)
+{
+    Rng rng(1);
+    RnsPoly p = RnsPoly::uniform(&ctx, kLimbs, rng, Domain::kCoeff);
+    const double t0 = nowMs();
+    for (size_t r = 0; r < reps; ++r) {
+        p.toNtt();
+        p.toCoeff();
+    }
+    const double elapsed = nowMs() - t0;
+    p.toNtt();
+    return {p.raw(), elapsed / (2.0 * reps)};
+}
+
+/** CRT basis extension kLimbs -> kLimbs/2 fresh primes. */
+KernelResult
+runBasisExtend(const PolyContext &ctx, size_t reps)
+{
+    const uint32_t n = ctx.n();
+    std::vector<size_t> src(kLimbs), dst(kLimbs / 2);
+    for (size_t i = 0; i < kLimbs; ++i)
+        src[i] = i;
+    for (size_t k = 0; k < kLimbs / 2; ++k)
+        dst[k] = kLimbs + k;
+    BasisExtender be(&ctx, src, dst);
+    Rng rng(2);
+    std::vector<uint32_t> in(kLimbs * n), out(kLimbs / 2 * n);
+    for (size_t i = 0; i < kLimbs; ++i)
+        for (uint32_t j = 0; j < n; ++j)
+            in[i * n + j] =
+                static_cast<uint32_t>(rng.uniform(ctx.modulus(i)));
+    const double t0 = nowMs();
+    for (size_t r = 0; r < reps; ++r)
+        be.extend(in, n, out);
+    return {out, (nowMs() - t0) / reps};
+}
+
+/** GHS key-switch apply at the top level of a small chain. */
+KernelResult
+runKeySwitch(const FheContext &fheCtx, const KeySwitchHint &hint,
+             size_t reps)
+{
+    Rng rng(3);
+    const size_t level = hint.level;
+    KeySwitcher sw(&fheCtx);
+    auto x = RnsPoly::uniform(fheCtx.polyContext(), level, rng);
+    const double t0 = nowMs();
+    std::pair<RnsPoly, RnsPoly> u{
+        RnsPoly(fheCtx.polyContext(), 1),
+        RnsPoly(fheCtx.polyContext(), 1)};
+    for (size_t r = 0; r < reps; ++r)
+        u = sw.apply(x, hint, fheCtx.plainModulus());
+    const double elapsed = nowMs() - t0;
+    std::vector<uint32_t> out = u.first.raw();
+    out.insert(out.end(), u.second.raw().begin(), u.second.raw().end());
+    return {std::move(out), elapsed / reps};
+}
+
+struct Row
+{
+    const char *kernel;
+    uint32_t n;
+    size_t limbs;
+    unsigned threads;
+    size_t reps;
+    double msPerOp;
+    double speedup;
+    bool bitIdentical;
+};
+
+void
+emitJson(const std::vector<Row> &rows, bool smoke)
+{
+    printf("{\n  \"bench\": \"parallel_scaling\",\n");
+    printf("  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    printf("  \"hw_concurrency\": %u,\n",
+           std::thread::hardware_concurrency());
+    printf("  \"results\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        printf("    {\"kernel\": \"%s\", \"n\": %u, \"limbs\": %zu, "
+               "\"threads\": %u, \"reps\": %zu, \"ms_per_op\": %.4f, "
+               "\"speedup_vs_serial\": %.3f, \"bit_identical\": %s}%s\n",
+               r.kernel, r.n, r.limbs, r.threads, r.reps, r.msPerOp,
+               r.speedup, r.bitIdentical ? "true" : "false",
+               i + 1 < rows.size() ? "," : "");
+    }
+    printf("  ]\n}\n");
+}
+
+int
+run(bool smoke)
+{
+    const std::vector<uint32_t> sizes =
+        smoke ? std::vector<uint32_t>{4096}
+              : std::vector<uint32_t>{4096, 16384, 65536};
+    const std::vector<unsigned> threadCounts =
+        smoke ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 4, 8};
+
+    std::vector<Row> rows;
+    bool allIdentical = true;
+    for (uint32_t n : sizes) {
+        // One shared prime chain: kLimbs working limbs plus kLimbs/2
+        // extension primes for the basis-extension kernel.
+        PolyContext ctx(n, generateNttPrimes(kLimbs + kLimbs / 2, 28, n));
+
+        // A separate small FHE chain for the key-switching kernel.
+        FheParams fp;
+        fp.n = n;
+        fp.maxLevel = 4;
+        fp.auxCount = 4;
+        fp.primeBits = 28;
+        fp.plainModulus = 65537;
+        FheContext fheCtx(fp);
+        KeySwitcher sw(&fheCtx);
+        Rng rng(4);
+        SecretKey sk = sw.keyGen(rng);
+        auto w = sk.s.mul(sk.s);
+        auto hint = sw.makeHint(w, sk, 4, fp.plainModulus,
+                                KeySwitchVariant::kGhsExtension, rng);
+
+        const size_t nttReps =
+            smoke ? 4 : std::max<size_t>(4, (1u << 19) / n);
+        const size_t extReps = std::max<size_t>(2, nttReps / 4);
+        const size_t ksReps = smoke ? 1 : 2;
+
+        struct Kernel
+        {
+            const char *name;
+            size_t reps;
+            std::function<KernelResult(size_t)> fn;
+        };
+        const Kernel kernels[] = {
+            {"ntt_batch", nttReps,
+             [&](size_t reps) { return runNttBatch(ctx, reps); }},
+            {"basis_extend", extReps,
+             [&](size_t reps) { return runBasisExtend(ctx, reps); }},
+            {"keyswitch_ghs", ksReps,
+             [&](size_t reps) {
+                 return runKeySwitch(fheCtx, hint, reps);
+             }},
+        };
+
+        for (const Kernel &k : kernels) {
+            setGlobalThreadCount(1);
+            k.fn(1); // warm caches so the baseline isn't penalized
+            const KernelResult serial = k.fn(k.reps);
+            for (unsigned t : threadCounts) {
+                setGlobalThreadCount(t);
+                const KernelResult r = k.fn(k.reps);
+                const bool same = r.output == serial.output;
+                allIdentical = allIdentical && same;
+                rows.push_back({k.name, n, kLimbs, t, k.reps,
+                                r.msPerOp, serial.msPerOp / r.msPerOp,
+                                same});
+            }
+        }
+    }
+    setGlobalThreadCount(0);
+    emitJson(rows, smoke);
+    // A threaded result that diverges from the serial reference is a
+    // correctness failure, not a perf data point.
+    return allIdentical ? 0 : 1;
+}
+
+} // namespace
+} // namespace f1::bench
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            fprintf(stderr,
+                    "usage: %s [--smoke]\n", argv[0]);
+            return 2;
+        }
+    }
+    return f1::bench::run(smoke);
+}

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "common/parallel.h"
 #include "compiler/compiler.h"
 #include "sim/reference_executor.h"
 #include "workloads/workloads.h"
@@ -22,13 +23,15 @@ inline CompileResult
 simulate(const Workload &w, const F1Config &cfg,
          const CompileOptions &opt = {})
 {
+    setGlobalThreadCount(cfg.hostThreads);
     return compileProgram(w.program, cfg, opt);
 }
 
 /** Runs the CPU software baseline; returns wall milliseconds. */
 inline double
-cpuBaselineMs(const Workload &w)
+cpuBaselineMs(const Workload &w, const F1Config &cfg = {})
 {
+    setGlobalThreadCount(cfg.hostThreads);
     FheParams params;
     params.n = w.n;
     params.maxLevel = w.maxLevel;

@@ -1,0 +1,199 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace f1 {
+
+namespace {
+
+/** Set while a thread executes loop bodies; nested runs go inline. */
+thread_local bool t_inPool = false;
+
+} // namespace
+
+/**
+ * Shared pool state. A loop is published by bumping `generation`;
+ * workers claim indices from the atomic `next` counter and report
+ * completion through `active`. One batch is in flight at a time (run()
+ * holds the loop until it drains), matching the bulk-synchronous
+ * per-limb dispatch pattern of the callers.
+ */
+struct ThreadPool::State
+{
+    std::mutex callers; //!< serializes concurrent external run() calls
+    std::mutex m;
+    std::condition_variable cvStart;
+    std::condition_variable cvDone;
+    uint64_t generation = 0;
+    bool stop = false;
+
+    const std::function<void(size_t)> *body = nullptr;
+    std::atomic<size_t> next{0};
+    size_t end = 0;
+    unsigned active = 0; //!< workers still draining the current batch
+    std::exception_ptr error;
+
+    /** Claims indices until the range drains; records one exception. */
+    void
+    drain()
+    {
+        const auto &fn = *body;
+        for (;;) {
+            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= end)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(m);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : state_(new State)
+{
+    F1_REQUIRE(threads >= 1, "thread pool needs at least one thread");
+    workers_.reserve(threads - 1);
+    for (unsigned i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(state_->m);
+        state_->stop = true;
+    }
+    state_->cvStart.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_inPool = true;
+    State &st = *state_;
+    uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(st.m);
+            st.cvStart.wait(lock, [&] {
+                return st.stop || st.generation != seen;
+            });
+            if (st.stop)
+                return;
+            seen = st.generation;
+        }
+        st.drain();
+        {
+            std::lock_guard<std::mutex> lock(st.m);
+            if (--st.active == 0)
+                st.cvDone.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::run(size_t begin, size_t end,
+                const std::function<void(size_t)> &body)
+{
+    if (end <= begin)
+        return;
+    // Serial fallback: no workers, a single iteration, or a nested
+    // call from inside a pool thread all run inline, in index order.
+    if (workers_.empty() || end - begin == 1 || t_inPool) {
+        for (size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
+
+    State &st = *state_;
+    // One external batch at a time: a second application thread
+    // calling in while workers drain would otherwise clobber the
+    // shared batch state. Held until the batch fully drains.
+    std::lock_guard<std::mutex> callerLock(st.callers);
+    {
+        std::lock_guard<std::mutex> lock(st.m);
+        st.body = &body;
+        st.next.store(begin, std::memory_order_relaxed);
+        st.end = end;
+        st.active = static_cast<unsigned>(workers_.size());
+        st.error = nullptr;
+        ++st.generation;
+    }
+    st.cvStart.notify_all();
+
+    // The calling thread participates; mark it as in-pool so bodies
+    // that recurse into parallelFor stay serial.
+    t_inPool = true;
+    st.drain();
+    t_inPool = false;
+
+    std::unique_lock<std::mutex> lock(st.m);
+    st.cvDone.wait(lock, [&] { return st.active == 0; });
+    st.body = nullptr;
+    if (st.error)
+        std::rethrow_exception(st.error);
+}
+
+unsigned
+configuredThreadCount()
+{
+    if (const char *env = std::getenv("F1_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+namespace {
+
+std::mutex g_poolMutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+ThreadPool &
+globalPool()
+{
+    std::lock_guard<std::mutex> lock(g_poolMutex);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(configuredThreadCount());
+    return *g_pool;
+}
+
+} // namespace
+
+unsigned
+globalThreadCount()
+{
+    return globalPool().threads();
+}
+
+void
+setGlobalThreadCount(unsigned n)
+{
+    const unsigned want = n == 0 ? configuredThreadCount() : n;
+    std::lock_guard<std::mutex> lock(g_poolMutex);
+    if (g_pool && g_pool->threads() == want)
+        return;
+    g_pool = std::make_unique<ThreadPool>(want);
+}
+
+void
+parallelFor(size_t begin, size_t end,
+            const std::function<void(size_t)> &body)
+{
+    globalPool().run(begin, end, body);
+}
+
+} // namespace f1

@@ -1,8 +1,10 @@
 #include "fhe/basis_extend.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "modular/modarith.h"
 
 namespace f1 {
@@ -57,27 +59,38 @@ BasisExtender::extend(std::span<const uint32_t> in, size_t n,
     F1_CHECK(in.size() == l * n, "bad input size");
     F1_CHECK(out.size() == tcount * n, "bad output size");
 
-    std::vector<uint32_t> w(l);
-    for (size_t j = 0; j < n; ++j) {
-        double frac = 0;
-        for (size_t i = 0; i < l; ++i) {
-            const uint32_t qi = ctx_->modulus(source_[i]);
-            w[i] = mulMod(in[i * n + j], qHatInv_[i], qi);
-            frac += static_cast<double>(w[i]) * qInvReal_[i];
-        }
-        const uint64_t alpha = static_cast<uint64_t>(frac + 0.5);
-        for (size_t k = 0; k < tcount; ++k) {
-            const uint32_t pk = ctx_->modulus(target_[k]);
-            uint64_t acc = 0;
+    // Every coefficient column is independent, so the conversion
+    // parallelizes over contiguous coefficient blocks (the per-limb
+    // grain is wrong here: the loop is over columns, not residues).
+    // Block results are position-determined, so the output is
+    // bit-identical to the serial path for any thread count.
+    constexpr size_t kBlock = 512;
+    const size_t nblocks = (n + kBlock - 1) / kBlock;
+    parallelFor(0, nblocks, [&](size_t b) {
+        std::vector<uint32_t> w(l);
+        const size_t jEnd = std::min(n, (b + 1) * kBlock);
+        for (size_t j = b * kBlock; j < jEnd; ++j) {
+            double frac = 0;
             for (size_t i = 0; i < l; ++i) {
-                acc += (uint64_t)(w[i] % pk) * qHatModTarget_[k][i] % pk;
+                const uint32_t qi = ctx_->modulus(source_[i]);
+                w[i] = mulMod(in[i * n + j], qHatInv_[i], qi);
+                frac += static_cast<double>(w[i]) * qInvReal_[i];
             }
-            acc %= pk;
-            uint64_t corr = alpha % pk * qModTarget_[k] % pk;
-            out[k * n + j] = static_cast<uint32_t>(
-                (acc + pk - corr % pk) % pk);
+            const uint64_t alpha = static_cast<uint64_t>(frac + 0.5);
+            for (size_t k = 0; k < tcount; ++k) {
+                const uint32_t pk = ctx_->modulus(target_[k]);
+                uint64_t acc = 0;
+                for (size_t i = 0; i < l; ++i) {
+                    acc +=
+                        (uint64_t)(w[i] % pk) * qHatModTarget_[k][i] % pk;
+                }
+                acc %= pk;
+                uint64_t corr = alpha % pk * qModTarget_[k] % pk;
+                out[k * n + j] = static_cast<uint32_t>(
+                    (acc + pk - corr % pk) % pk);
+            }
         }
-    }
+    });
 }
 
 } // namespace f1

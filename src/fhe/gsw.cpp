@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "modular/modarith.h"
 
 namespace f1 {
@@ -71,12 +72,28 @@ GswScheme::externalProduct(const Ciphertext &rlwe,
 
     RnsPoly r0(pc, level, Domain::kNtt);
     RnsPoly r1(pc, level, Domain::kNtt);
-    for (size_t i = 0; i < level; ++i) {
-        r0 += d0[i].mul(rgsw.cm.b[i]);
-        r1 += d0[i].mul(rgsw.cm.a[i]);
-        r0 += d1[i].mul(rgsw.csm.b[i]);
-        r1 += d1[i].mul(rgsw.csm.a[i]);
-    }
+    // One work unit per limb: each residue runs the full digit MAC
+    // chain locally instead of materializing 4*level temporary
+    // polynomial products (same exact arithmetic, one pool hand-off).
+    parallelForLimbs(level, [&](size_t r) {
+        const uint32_t q = pc->modulus(r);
+        auto o0 = r0.residue(r);
+        auto o1 = r1.residue(r);
+        for (size_t i = 0; i < level; ++i) {
+            auto x0 = d0[i].residue(r);
+            auto x1 = d1[i].residue(r);
+            auto cmb = rgsw.cm.b[i].residue(r);
+            auto cma = rgsw.cm.a[i].residue(r);
+            auto csb = rgsw.csm.b[i].residue(r);
+            auto csa = rgsw.csm.a[i].residue(r);
+            for (size_t j = 0; j < o0.size(); ++j) {
+                o0[j] = addMod(o0[j], mulMod(x0[j], cmb[j], q), q);
+                o1[j] = addMod(o1[j], mulMod(x0[j], cma[j], q), q);
+                o0[j] = addMod(o0[j], mulMod(x1[j], csb[j], q), q);
+                o1[j] = addMod(o1[j], mulMod(x1[j], csa[j], q), q);
+            }
+        }
+    });
 
     Ciphertext out;
     out.polys.push_back(std::move(r0));

@@ -1,6 +1,7 @@
 #include "fhe/keyswitch.h"
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "fhe/basis_extend.h"
 #include "modular/modarith.h"
 
@@ -68,7 +69,7 @@ KeySwitcher::makeHint(const RnsPoly &w, const SecretKey &sk, size_t level,
                         qhat_mod_qi * (pc->modulus(j) % qi) % qi;
             const uint32_t wi =
                 invMod(static_cast<uint32_t>(qhat_mod_qi), qi);
-            for (size_t r = 0; r < chain_len; ++r) {
+            parallelForLimbs(chain_len, [&](size_t r) {
                 const uint32_t m = pc->modulus(r);
                 uint64_t qhat = 1;
                 for (size_t j = 0; j < level; ++j)
@@ -84,7 +85,7 @@ KeySwitcher::makeHint(const RnsPoly &w, const SecretKey &sk, size_t level,
                     bres[idx] = addMod(
                         bres[idx],
                         mulModShoup(wres[idx], sc, pre, m), m);
-            }
+            });
             hint.a.push_back(std::move(ai));
             hint.b.push_back(std::move(bi));
         }
@@ -113,7 +114,7 @@ KeySwitcher::makeHint(const RnsPoly &w, const SecretKey &sk, size_t level,
     e.mulScalar(errorScale);
     b += e;
     // += P * w on ciphertext residues (P ≡ 0 on aux residues).
-    for (size_t j = 0; j < ctx_->maxLevel(); ++j) {
+    parallelForLimbs(ctx_->maxLevel(), [&](size_t j) {
         const uint32_t qj = pc->modulus(j);
         uint64_t pmod = 1;
         for (size_t k = 0; k < aux; ++k)
@@ -126,7 +127,7 @@ KeySwitcher::makeHint(const RnsPoly &w, const SecretKey &sk, size_t level,
             bres[idx] = addMod(bres[idx],
                                mulModShoup(wres[idx], scalar, pre, qj),
                                qj);
-    }
+    });
     hint.a.push_back(std::move(a));
     hint.b.push_back(std::move(b));
     hint.usedRVecs = 2 * (level + aux);
@@ -155,7 +156,6 @@ digitDecomposeLift(const RnsPoly &x)
 
     std::vector<RnsPoly> out;
     out.reserve(level);
-    std::vector<uint32_t> tmp(n);
     for (size_t i = 0; i < level; ++i) {
         // Digit i: residue i of x, taken to coefficient form and
         // center-lifted into every modulus (Listing 1 lines 3 and 8).
@@ -164,24 +164,26 @@ digitDecomposeLift(const RnsPoly &x)
         pc->tables(i).inverse(yi);
         auto lifted = centeredLift(yi, pc->modulus(i));
 
+        // One limb per work unit: each target residue reduces the
+        // shared lift and transforms into its own NTT domain.
         RnsPoly xt(pc, level, Domain::kNtt);
-        for (size_t j = 0; j < level; ++j) {
+        parallelForLimbs(level, [&](size_t j) {
+            auto dst = xt.residue(j);
             if (j == i) {
                 // Already have this residue in NTT form.
                 std::copy(x.residue(i).begin(), x.residue(i).end(),
-                          xt.residue(j).begin());
-                continue;
+                          dst.begin());
+                return;
             }
             const uint32_t qj = pc->modulus(j);
             for (size_t idx = 0; idx < n; ++idx) {
                 int64_t v = lifted[idx] % (int64_t)qj;
                 if (v < 0)
                     v += qj;
-                tmp[idx] = static_cast<uint32_t>(v);
+                dst[idx] = static_cast<uint32_t>(v);
             }
-            pc->tables(j).forward(tmp);
-            std::copy(tmp.begin(), tmp.end(), xt.residue(j).begin());
-        }
+            pc->tables(j).forward(dst);
+        });
         out.push_back(std::move(xt));
     }
     return out;
@@ -201,7 +203,6 @@ KeySwitcher::applyDigitScaled(const RnsPoly &x, const KeySwitchHint &hint,
     std::vector<uint32_t> acc0((level + 1) * n, 0);
     std::vector<uint32_t> acc1((level + 1) * n, 0);
 
-    std::vector<uint32_t> tmp(n);
     for (size_t i = 0; i < level; ++i) {
         // Digit i in coefficient form, center-lifted.
         std::vector<uint32_t> yi(x.residue(i).begin(),
@@ -210,13 +211,17 @@ KeySwitcher::applyDigitScaled(const RnsPoly &x, const KeySwitchHint &hint,
         auto lifted = centeredLift(yi, pc->modulus(i));
 
         // Multiply-accumulate against hint digit i over each track.
-        for (size_t track = 0; track <= level; ++track) {
+        // Tracks write disjoint accumulator slices and read the shared
+        // lift, so they map one-per-limb onto the pool.
+        parallelFor(0, level + 1, [&](size_t track) {
             const size_t ridx = track < level ? track : sp;
             const uint32_t m = pc->modulus(ridx);
             const uint32_t *xt;
+            std::vector<uint32_t> tmp;
             if (track == i) {
                 xt = x.residue(i).data();
             } else {
+                tmp.resize(n);
                 for (size_t idx = 0; idx < n; ++idx) {
                     int64_t v = lifted[idx] % (int64_t)m;
                     if (v < 0)
@@ -236,7 +241,7 @@ KeySwitcher::applyDigitScaled(const RnsPoly &x, const KeySwitchHint &hint,
                 o0[idx] = addMod(o0[idx],
                                  mulMod(xt[idx], hb[idx], m), m);
             }
-        }
+        });
     }
 
     // Divide both accumulators by p_sp with errorScale-adjusted
@@ -263,7 +268,7 @@ KeySwitcher::applyDigitScaled(const RnsPoly &x, const KeySwitchHint &hint,
         RnsPoly result(pc, level, Domain::kNtt);
         RnsPoly dpoly =
             RnsPoly::fromSigned(pc, level, delta, Domain::kNtt);
-        for (size_t j = 0; j < level; ++j) {
+        parallelForLimbs(level, [&](size_t j) {
             const uint32_t q = pc->modulus(j);
             const uint32_t pinv = invMod(p_sp % q, q);
             const uint32_t pre = shoupPrecompute(pinv, q);
@@ -274,7 +279,7 @@ KeySwitcher::applyDigitScaled(const RnsPoly &x, const KeySwitchHint &hint,
                 uint32_t diff = subMod(in[idx], dres[idx], q);
                 out[idx] = mulModShoup(diff, pinv, pre, q);
             }
-        }
+        });
         return result;
     };
 
@@ -302,37 +307,41 @@ KeySwitcher::applyGhs(const RnsPoly &x, const KeySwitchHint &hint,
     BasisExtender up(pc, src, dst);
 
     std::vector<uint32_t> coeff(level * n);
-    for (size_t i = 0; i < level; ++i) {
+    parallelForLimbs(level, [&](size_t i) {
         std::copy(x.residue(i).begin(), x.residue(i).end(),
                   coeff.begin() + i * n);
         std::span<uint32_t> row(coeff.data() + i * n, n);
         pc->tables(i).inverse(row);
-    }
+    });
     std::vector<uint32_t> ext(aux * n);
     up.extend(coeff, n, ext);
 
     // 2. Pointwise multiply by the hint over level + aux residues.
     //    Work on two tracks: ciphertext residues (from x, NTT) and aux
-    //    residues (extended, NTT after transform).
+    //    residues (extended, NTT after transform). All level + aux
+    //    limbs are independent work units.
     auto mulTrack = [&](const RnsPoly &h) {
         // Returns {cipherResidues(level), auxResidues(aux)} both NTT.
         std::vector<uint32_t> cres(level * n), ares(aux * n);
-        for (size_t i = 0; i < level; ++i) {
-            const uint32_t q = pc->modulus(i);
-            auto hx = h.residue(i);
-            auto xr = x.residue(i);
-            for (size_t idx = 0; idx < n; ++idx)
-                cres[i * n + idx] = mulMod(xr[idx], hx[idx], q);
-        }
-        for (size_t k = 0; k < aux; ++k) {
-            const uint32_t p = pc->modulus(aux_base + k);
-            std::vector<uint32_t> t(ext.begin() + k * n,
-                                    ext.begin() + (k + 1) * n);
-            pc->tables(aux_base + k).forward(t);
-            auto hx = h.residue(aux_base + k);
-            for (size_t idx = 0; idx < n; ++idx)
-                ares[k * n + idx] = mulMod(t[idx], hx[idx], p);
-        }
+        parallelForLimbs(level + aux, [&](size_t u) {
+            if (u < level) {
+                const size_t i = u;
+                const uint32_t q = pc->modulus(i);
+                auto hx = h.residue(i);
+                auto xr = x.residue(i);
+                for (size_t idx = 0; idx < n; ++idx)
+                    cres[i * n + idx] = mulMod(xr[idx], hx[idx], q);
+            } else {
+                const size_t k = u - level;
+                const uint32_t p = pc->modulus(aux_base + k);
+                std::vector<uint32_t> t(ext.begin() + k * n,
+                                        ext.begin() + (k + 1) * n);
+                pc->tables(aux_base + k).forward(t);
+                auto hx = h.residue(aux_base + k);
+                for (size_t idx = 0; idx < n; ++idx)
+                    ares[k * n + idx] = mulMod(t[idx], hx[idx], p);
+            }
+        });
         return std::make_pair(std::move(cres), std::move(ares));
     };
 
@@ -347,7 +356,7 @@ KeySwitcher::applyGhs(const RnsPoly &x, const KeySwitchHint &hint,
     auto scaleDown = [&](std::vector<uint32_t> &cres,
                          std::vector<uint32_t> &ares) {
         // Aux residues to coefficient form.
-        for (size_t k = 0; k < aux; ++k) {
+        parallelForLimbs(aux, [&](size_t k) {
             std::span<uint32_t> row(ares.data() + k * n, n);
             pc->tables(aux_base + k).inverse(row);
             if (t_adj != 1) {
@@ -359,13 +368,13 @@ KeySwitcher::applyGhs(const RnsPoly &x, const KeySwitchHint &hint,
                 for (auto &v : row)
                     v = mulModShoup(v, tinv, pre, p);
             }
-        }
+        });
         // Extend u to the ciphertext basis; δ = t * u.
         std::vector<uint32_t> delta(level * n);
         down.extend(ares, n, delta);
 
         RnsPoly result(pc, level, Domain::kNtt);
-        for (size_t i = 0; i < level; ++i) {
+        parallelForLimbs(level, [&](size_t i) {
             const uint32_t q = pc->modulus(i);
             std::span<uint32_t> d(delta.data() + i * n, n);
             if (t_adj != 1) {
@@ -387,7 +396,7 @@ KeySwitcher::applyGhs(const RnsPoly &x, const KeySwitchHint &hint,
                 uint32_t diff = subMod(cres[i * n + idx], d[idx], q);
                 out[idx] = mulModShoup(diff, pinv, pre, q);
             }
-        }
+        });
         return result;
     };
 

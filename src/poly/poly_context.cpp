@@ -1,6 +1,7 @@
 #include "poly/poly_context.h"
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "modular/modarith.h"
 
 namespace f1 {
@@ -9,9 +10,12 @@ PolyContext::PolyContext(uint32_t n, std::vector<uint32_t> moduli)
     : n_(n), moduli_(std::move(moduli))
 {
     F1_REQUIRE(!moduli_.empty(), "empty modulus chain");
-    tables_.reserve(moduli_.size());
-    for (uint32_t q : moduli_)
-        tables_.push_back(std::make_unique<NttTables>(n_, q));
+    // Twiddle tables are per-modulus and independent; build one per
+    // work unit (a few MB of root powers each at large N).
+    tables_.resize(moduli_.size());
+    parallelForLimbs(moduli_.size(), [&](size_t i) {
+        tables_[i] = std::make_unique<NttTables>(n_, moduli_[i]);
+    });
     buildCrt();
 }
 

@@ -1,6 +1,7 @@
 #include "poly/rns_poly.h"
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "modular/modarith.h"
 #include "poly/automorphism.h"
 
@@ -18,6 +19,8 @@ RnsPoly
 RnsPoly::uniform(const PolyContext *ctx, size_t levels, Rng &rng,
                  Domain domain)
 {
+    // Serial on purpose: all residues draw from one PRNG stream, and
+    // the draw order is part of the deterministic key/error schedule.
     RnsPoly p(ctx, levels, domain);
     for (size_t i = 0; i < levels; ++i) {
         const uint32_t q = ctx->modulus(i);
@@ -33,7 +36,7 @@ RnsPoly::fromSigned(const PolyContext *ctx, size_t levels,
 {
     F1_REQUIRE(coeffs.size() == ctx->n(), "coefficient count mismatch");
     RnsPoly p(ctx, levels, Domain::kCoeff);
-    for (size_t i = 0; i < levels; ++i) {
+    parallelForLimbs(levels, [&](size_t i) {
         const uint32_t q = ctx->modulus(i);
         auto res = p.residue(i);
         for (size_t j = 0; j < coeffs.size(); ++j) {
@@ -42,9 +45,11 @@ RnsPoly::fromSigned(const PolyContext *ctx, size_t levels,
                 c += q;
             res[j] = static_cast<uint32_t>(c);
         }
-    }
+        if (target == Domain::kNtt)
+            ctx->tables(i).forward(res);
+    });
     if (target == Domain::kNtt)
-        p.toNtt();
+        p.domain_ = Domain::kNtt;
     return p;
 }
 
@@ -67,8 +72,8 @@ RnsPoly::toNtt()
 {
     if (domain_ == Domain::kNtt)
         return;
-    for (size_t i = 0; i < levels_; ++i)
-        ctx_->tables(i).forward(residue(i));
+    parallelForLimbs(levels_,
+                     [&](size_t i) { ctx_->tables(i).forward(residue(i)); });
     domain_ = Domain::kNtt;
 }
 
@@ -77,8 +82,8 @@ RnsPoly::toCoeff()
 {
     if (domain_ == Domain::kCoeff)
         return;
-    for (size_t i = 0; i < levels_; ++i)
-        ctx_->tables(i).inverse(residue(i));
+    parallelForLimbs(levels_,
+                     [&](size_t i) { ctx_->tables(i).inverse(residue(i)); });
     domain_ = Domain::kCoeff;
 }
 
@@ -87,13 +92,13 @@ RnsPoly::operator+=(const RnsPoly &o)
 {
     F1_CHECK(levels_ == o.levels_ && domain_ == o.domain_,
              "operand mismatch in +=");
-    for (size_t i = 0; i < levels_; ++i) {
+    parallelForLimbs(levels_, [&](size_t i) {
         const uint32_t q = ctx_->modulus(i);
         auto a = residue(i);
         auto b = o.residue(i);
         for (size_t j = 0; j < a.size(); ++j)
             a[j] = addMod(a[j], b[j], q);
-    }
+    });
     return *this;
 }
 
@@ -102,13 +107,13 @@ RnsPoly::operator-=(const RnsPoly &o)
 {
     F1_CHECK(levels_ == o.levels_ && domain_ == o.domain_,
              "operand mismatch in -=");
-    for (size_t i = 0; i < levels_; ++i) {
+    parallelForLimbs(levels_, [&](size_t i) {
         const uint32_t q = ctx_->modulus(i);
         auto a = residue(i);
         auto b = o.residue(i);
         for (size_t j = 0; j < a.size(); ++j)
             a[j] = subMod(a[j], b[j], q);
-    }
+    });
     return *this;
 }
 
@@ -131,11 +136,11 @@ RnsPoly::operator-(const RnsPoly &o) const
 void
 RnsPoly::negate()
 {
-    for (size_t i = 0; i < levels_; ++i) {
+    parallelForLimbs(levels_, [&](size_t i) {
         const uint32_t q = ctx_->modulus(i);
         for (auto &x : residue(i))
             x = negMod(x, q);
-    }
+    });
 }
 
 RnsPoly &
@@ -144,13 +149,13 @@ RnsPoly::mulEq(const RnsPoly &o)
     F1_CHECK(domain_ == Domain::kNtt && o.domain_ == Domain::kNtt,
              "element-wise multiply requires NTT domain");
     F1_CHECK(levels_ == o.levels_, "level mismatch in mulEq");
-    for (size_t i = 0; i < levels_; ++i) {
+    parallelForLimbs(levels_, [&](size_t i) {
         const uint32_t q = ctx_->modulus(i);
         auto a = residue(i);
         auto b = o.residue(i);
         for (size_t j = 0; j < a.size(); ++j)
             a[j] = mulMod(a[j], b[j], q);
-    }
+    });
     return *this;
 }
 
@@ -166,38 +171,38 @@ void
 RnsPoly::mulScalarPerResidue(std::span<const uint32_t> scalar)
 {
     F1_CHECK(scalar.size() >= levels_, "missing per-residue scalars");
-    for (size_t i = 0; i < levels_; ++i) {
+    parallelForLimbs(levels_, [&](size_t i) {
         const uint32_t q = ctx_->modulus(i);
         const uint32_t s = scalar[i];
         const uint32_t pre = shoupPrecompute(s, q);
         for (auto &x : residue(i))
             x = mulModShoup(x, s, pre, q);
-    }
+    });
 }
 
 void
 RnsPoly::mulScalar(uint64_t c)
 {
-    for (size_t i = 0; i < levels_; ++i) {
+    parallelForLimbs(levels_, [&](size_t i) {
         const uint32_t q = ctx_->modulus(i);
         const uint32_t s = static_cast<uint32_t>(c % q);
         const uint32_t pre = shoupPrecompute(s, q);
         for (auto &x : residue(i))
             x = mulModShoup(x, s, pre, q);
-    }
+    });
 }
 
 RnsPoly
 RnsPoly::automorphism(uint64_t g) const
 {
     RnsPoly out(ctx_, levels_, domain_);
-    for (size_t i = 0; i < levels_; ++i) {
+    parallelForLimbs(levels_, [&](size_t i) {
         if (domain_ == Domain::kNtt)
             automorphismNtt(residue(i), out.residue(i), g);
         else
             automorphismCoeff(residue(i), out.residue(i), g,
                               ctx_->modulus(i));
-    }
+    });
     return out;
 }
 
