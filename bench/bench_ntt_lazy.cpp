@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Lazy-vs-strict NTT microbench plus key-switch arena stats, emitting
+ * one JSON document on stdout for the per-PR perf trajectory
+ * (uploaded by CI as BENCH_ntt.json).
+ *
+ * Part 1 times a forward+inverse negacyclic NTT pair per modulus at
+ * several N, single-threaded, on both the Harvey lazy path
+ * (NttTables::forward/inverse) and the strict-reduction reference
+ * (forwardStrict/inverseStrict), and cross-checks that the outputs
+ * are bit-identical. Part 2 runs GHS and digit key-switching in
+ * steady state and reports the scratch arena's checkout statistics:
+ * heap allocations per apply() must be zero once warm.
+ *
+ * Usage: bench_ntt_lazy [--smoke]
+ *   --smoke  fewer reps and only N = 4096, for the CI canary.
+ *
+ * Exits nonzero on any correctness failure (lazy/strict divergence or
+ * a warm apply() that hits the heap); the speedup numbers themselves
+ * are data points, not gates.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/scratch.h"
+#include "fhe/fhe_context.h"
+#include "fhe/keyswitch.h"
+#include "modular/primes.h"
+#include "poly/ntt.h"
+#include "poly/rns_poly.h"
+
+namespace f1::bench {
+namespace {
+
+double
+nowMs()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+struct NttRow
+{
+    uint32_t n;
+    uint32_t q;
+    size_t reps;
+    double lazyMs;   //!< per forward+inverse pair
+    double strictMs;
+    double speedup;
+    bool identical;
+};
+
+NttRow
+runNttPair(uint32_t n, size_t reps)
+{
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    NttTables t(n, q);
+    Rng rng(n);
+    std::vector<uint32_t> a(n);
+    for (auto &x : a)
+        x = static_cast<uint32_t>(rng.uniform(q));
+
+    // Cross-check first (also warms caches and twiddle tables).
+    std::vector<uint32_t> lazy = a, strict = a;
+    t.forward(lazy);
+    t.forwardStrict(strict);
+    bool identical = lazy == strict;
+    t.inverse(lazy);
+    t.inverseStrict(strict);
+    identical = identical && lazy == strict && lazy == a;
+
+    std::vector<uint32_t> work = a;
+    const double t0 = nowMs();
+    for (size_t r = 0; r < reps; ++r) {
+        t.forward(work);
+        t.inverse(work);
+    }
+    const double lazyMs = (nowMs() - t0) / reps;
+
+    work = a;
+    const double t1 = nowMs();
+    for (size_t r = 0; r < reps; ++r) {
+        t.forwardStrict(work);
+        t.inverseStrict(work);
+    }
+    const double strictMs = (nowMs() - t1) / reps;
+
+    return {n, q, reps, lazyMs, strictMs, strictMs / lazyMs, identical};
+}
+
+struct ArenaRow
+{
+    const char *variant;
+    size_t applies;
+    double checkoutsPerApply;
+    uint64_t warmHeapAllocs; //!< must be 0
+    double msPerApply;
+};
+
+ArenaRow
+runKeySwitchArena(KeySwitchVariant variant, const char *name,
+                  size_t applies)
+{
+    FheParams p;
+    p.n = 1024;
+    p.maxLevel = 4;
+    p.auxCount = 4;
+    p.primeBits = 28;
+    p.plainModulus = 65537;
+    FheContext ctx(p);
+    KeySwitcher sw(&ctx);
+    Rng rng(11);
+    SecretKey sk = sw.keyGen(rng);
+    auto w = sk.s.mul(sk.s);
+    auto hint = sw.makeHint(w, sk, 4, p.plainModulus, variant, rng);
+    auto x = RnsPoly::uniform(ctx.polyContext(), 4, rng);
+
+    // Two warm applies populate every thread cache size class.
+    auto u = sw.apply(x, hint, p.plainModulus);
+    u = sw.apply(x, hint, p.plainModulus);
+
+    ScratchArena::resetStats();
+    const double t0 = nowMs();
+    for (size_t r = 0; r < applies; ++r)
+        u = sw.apply(x, hint, p.plainModulus);
+    const double elapsed = nowMs() - t0;
+    const auto st = ScratchArena::stats();
+    return {name, applies,
+            static_cast<double>(st.checkouts) / applies,
+            st.heapAllocs, elapsed / applies};
+}
+
+int
+run(bool smoke)
+{
+    // Single-threaded by design: this measures the butterfly kernel,
+    // not the limb dispatch (bench_parallel_scaling covers that).
+    setGlobalThreadCount(1);
+
+    const std::vector<uint32_t> sizes =
+        smoke ? std::vector<uint32_t>{4096}
+              : std::vector<uint32_t>{1024, 4096, 16384};
+    std::vector<NttRow> rows;
+    for (uint32_t n : sizes) {
+        const size_t reps =
+            smoke ? 64 : std::max<size_t>(64, (1u << 22) / n);
+        rows.push_back(runNttPair(n, reps));
+    }
+
+    const size_t applies = smoke ? 4 : 16;
+    const ArenaRow arena[] = {
+        runKeySwitchArena(KeySwitchVariant::kGhsExtension,
+                          "keyswitch_ghs", applies),
+        runKeySwitchArena(KeySwitchVariant::kDigitLxL,
+                          "keyswitch_digit", applies),
+    };
+    setGlobalThreadCount(0);
+
+    printf("{\n  \"bench\": \"ntt_lazy\",\n");
+    printf("  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    printf("  \"threads\": 1,\n");
+    printf("  \"ntt\": [\n");
+    bool ok = true;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const NttRow &r = rows[i];
+        ok = ok && r.identical;
+        printf("    {\"n\": %u, \"q\": %u, \"reps\": %zu, "
+               "\"lazy_ms_per_pair\": %.5f, "
+               "\"strict_ms_per_pair\": %.5f, "
+               "\"speedup_lazy_vs_strict\": %.3f, "
+               "\"bit_identical\": %s}%s\n",
+               r.n, r.q, r.reps, r.lazyMs, r.strictMs, r.speedup,
+               r.identical ? "true" : "false",
+               i + 1 < rows.size() ? "," : "");
+    }
+    printf("  ],\n");
+    printf("  \"keyswitch_arena\": [\n");
+    for (size_t i = 0; i < 2; ++i) {
+        const ArenaRow &r = arena[i];
+        ok = ok && r.warmHeapAllocs == 0;
+        printf("    {\"variant\": \"%s\", \"applies\": %zu, "
+               "\"arena_checkouts_per_apply\": %.1f, "
+               "\"warm_heap_allocs\": %llu, "
+               "\"ms_per_apply\": %.4f}%s\n",
+               r.variant, r.applies, r.checkoutsPerApply,
+               static_cast<unsigned long long>(r.warmHeapAllocs),
+               r.msPerApply, i + 1 < 2 ? "," : "");
+    }
+    printf("  ]\n}\n");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+} // namespace f1::bench
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+            return 2;
+        }
+    }
+    return f1::bench::run(smoke);
+}

@@ -1,8 +1,10 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 
 #include "common/error.h"
@@ -138,21 +140,52 @@ ThreadPool::run(size_t begin, size_t end,
     st.drain();
     t_inPool = false;
 
-    std::unique_lock<std::mutex> lock(st.m);
-    st.cvDone.wait(lock, [&] { return st.active == 0; });
-    st.body = nullptr;
-    if (st.error)
-        std::rethrow_exception(st.error);
+    // st.body points at the caller's stack frame; it must be nulled
+    // before run() returns on EVERY path — including an exception out
+    // of cvDone.wait and the body-exception rethrow below — or a
+    // later batch could chase a pointer into a dead frame.
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(st.m);
+        try {
+            st.cvDone.wait(lock, [&] { return st.active == 0; });
+        } catch (...) {
+            st.body = nullptr;
+            throw;
+        }
+        st.body = nullptr;
+        err = st.error;
+        st.error = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+unsigned
+parseThreadCountEnv(const char *text)
+{
+    // Accepted grammar (documented in README.md): optional leading
+    // whitespace, an optional '+', then decimal digits; the whole
+    // string must be consumed and the value must be >= 1. Anything
+    // else ("", "0", "-3", "8x", "2 4") is an operator typo that must
+    // not silently fall back to hardware concurrency.
+    F1_REQUIRE(text != nullptr, "F1_THREADS: null value");
+    char *end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(text, &end, 10);
+    const bool consumed = end != text && *end == '\0';
+    F1_REQUIRE(consumed && errno != ERANGE && v >= 1 &&
+                   v <= std::numeric_limits<unsigned>::max(),
+               "F1_THREADS must be a positive decimal integer, got \""
+               << text << "\"");
+    return static_cast<unsigned>(v);
 }
 
 unsigned
 configuredThreadCount()
 {
-    if (const char *env = std::getenv("F1_THREADS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1)
-            return static_cast<unsigned>(v);
-    }
+    if (const char *env = std::getenv("F1_THREADS"))
+        return parseThreadCountEnv(env);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw >= 1 ? hw : 1;
 }
@@ -160,15 +193,22 @@ configuredThreadCount()
 namespace {
 
 std::mutex g_poolMutex;
-std::unique_ptr<ThreadPool> g_pool;
+std::shared_ptr<ThreadPool> g_pool;
 
-ThreadPool &
+/**
+ * Snapshot of the global pool. Callers hold the shared_ptr across
+ * run(), so a concurrent setGlobalThreadCount() cannot destroy a pool
+ * with batches in flight: the replacement only swaps the global slot,
+ * and the retired pool is destroyed (joining its workers) when the
+ * last in-flight caller drops its snapshot.
+ */
+std::shared_ptr<ThreadPool>
 globalPool()
 {
     std::lock_guard<std::mutex> lock(g_poolMutex);
     if (!g_pool)
-        g_pool = std::make_unique<ThreadPool>(configuredThreadCount());
-    return *g_pool;
+        g_pool = std::make_shared<ThreadPool>(configuredThreadCount());
+    return g_pool;
 }
 
 } // namespace
@@ -176,24 +216,32 @@ globalPool()
 unsigned
 globalThreadCount()
 {
-    return globalPool().threads();
+    return globalPool()->threads();
 }
 
 void
 setGlobalThreadCount(unsigned n)
 {
     const unsigned want = n == 0 ? configuredThreadCount() : n;
-    std::lock_guard<std::mutex> lock(g_poolMutex);
-    if (g_pool && g_pool->threads() == want)
-        return;
-    g_pool = std::make_unique<ThreadPool>(want);
+    std::shared_ptr<ThreadPool> retired;
+    {
+        std::lock_guard<std::mutex> lock(g_poolMutex);
+        if (g_pool && g_pool->threads() == want)
+            return;
+        retired = std::move(g_pool);
+        g_pool = std::make_shared<ThreadPool>(want);
+    }
+    // `retired` goes out of scope here, outside g_poolMutex. If other
+    // threads are mid-parallelFor on the old pool they share ownership
+    // and the destructor (which joins the workers) runs only after the
+    // last of them finishes its batch.
 }
 
 void
 parallelFor(size_t begin, size_t end,
             const std::function<void(size_t)> &body)
 {
-    globalPool().run(begin, end, body);
+    globalPool()->run(begin, end, body);
 }
 
 } // namespace f1

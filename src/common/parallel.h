@@ -71,7 +71,20 @@ class ThreadPool
     std::vector<std::thread> workers_;
 };
 
-/** Resolved default: F1_THREADS override, else hardware concurrency. */
+/**
+ * Strict F1_THREADS parser: optional leading whitespace, optional '+',
+ * decimal digits, full-string consumption, value >= 1. Throws
+ * FatalError on anything else — a malformed override must not
+ * silently fall back to hardware concurrency on a benchmark run.
+ * Exposed for tests.
+ */
+unsigned parseThreadCountEnv(const char *text);
+
+/**
+ * Resolved default: F1_THREADS override (validated by
+ * parseThreadCountEnv; throws on malformed values), else hardware
+ * concurrency.
+ */
 unsigned configuredThreadCount();
 
 /** Total threads the global pool currently uses. */
@@ -79,8 +92,10 @@ unsigned globalThreadCount();
 
 /**
  * Resizes the global pool. n = 0 restores the configured default;
- * n = 1 selects the serial fallback. Not safe concurrently with
- * in-flight parallelFor calls (intended for bench sweeps and tests).
+ * n = 1 selects the serial fallback. Safe concurrently with in-flight
+ * parallelFor calls: each call holds a shared snapshot of the pool it
+ * started on, and a retired pool is destroyed only after its last
+ * in-flight batch drains.
  */
 void setGlobalThreadCount(unsigned n);
 

@@ -1,0 +1,128 @@
+#include "common/scratch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "common/error.h"
+
+namespace f1 {
+
+namespace {
+
+/**
+ * Per-thread block cache. Blocks are held by unique_ptr so their
+ * addresses stay stable while the vector grows; handles keep raw
+ * ScratchBlock pointers across checkout/release.
+ */
+struct ThreadCache
+{
+    std::vector<std::unique_ptr<detail::ScratchBlock>> blocks;
+};
+
+thread_local ThreadCache t_cache;
+
+std::atomic<uint64_t> g_checkouts{0};
+std::atomic<uint64_t> g_heapAllocs{0};
+std::atomic<uint64_t> g_heapWords{0};
+std::atomic<uint64_t> g_live{0};
+
+/** Capacities are rounded to powers of two so the handful of distinct
+ *  request sizes per workload (n, limb×n, l) converge on a small set
+ *  of reusable blocks. */
+size_t
+roundCapacity(size_t words)
+{
+    size_t cap = 8;
+    while (cap < words)
+        cap <<= 1;
+    return cap;
+}
+
+} // namespace
+
+namespace detail {
+
+ScratchBlock *
+scratchAcquire(size_t words)
+{
+    g_checkouts.fetch_add(1, std::memory_order_relaxed);
+    g_live.fetch_add(1, std::memory_order_relaxed);
+
+    // Best fit among free blocks: smallest capacity that still holds
+    // the request, so an n-sized checkout does not pin a limb×n block.
+    ScratchBlock *best = nullptr;
+    for (auto &b : t_cache.blocks) {
+        if (!b->inUse && b->words.size() >= words &&
+            (!best || b->words.size() < best->words.size()))
+            best = b.get();
+    }
+    if (!best) {
+        const size_t cap = roundCapacity(words);
+        auto fresh = std::make_unique<ScratchBlock>();
+        fresh->words.resize(cap);
+        best = fresh.get();
+        t_cache.blocks.push_back(std::move(fresh));
+        g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+        g_heapWords.fetch_add(cap, std::memory_order_relaxed);
+    }
+    best->inUse = true;
+    return best;
+}
+
+void
+scratchRelease(ScratchBlock *block)
+{
+    block->inUse = false;
+    g_live.fetch_sub(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+ScratchArena::Handle<uint32_t>
+ScratchArena::u32(size_t count, bool zeroed)
+{
+    auto *block = detail::scratchAcquire((count + 1) / 2);
+    Handle<uint32_t> h(block, count);
+    if (zeroed)
+        std::fill_n(h.data(), count, 0u);
+    return h;
+}
+
+ScratchArena::Handle<int64_t>
+ScratchArena::i64(size_t count, bool zeroed)
+{
+    auto *block = detail::scratchAcquire(count);
+    Handle<int64_t> h(block, count);
+    if (zeroed)
+        std::fill_n(h.data(), count, int64_t{0});
+    return h;
+}
+
+ScratchArena::Stats
+ScratchArena::stats()
+{
+    return {g_checkouts.load(std::memory_order_relaxed),
+            g_heapAllocs.load(std::memory_order_relaxed),
+            g_heapWords.load(std::memory_order_relaxed),
+            g_live.load(std::memory_order_relaxed)};
+}
+
+void
+ScratchArena::resetStats()
+{
+    g_checkouts.store(0, std::memory_order_relaxed);
+    g_heapAllocs.store(0, std::memory_order_relaxed);
+    g_heapWords.store(0, std::memory_order_relaxed);
+}
+
+void
+ScratchArena::releaseThreadCache()
+{
+    for (const auto &b : t_cache.blocks)
+        F1_CHECK(!b->inUse,
+                 "releaseThreadCache with a handle still outstanding");
+    t_cache.blocks.clear();
+}
+
+} // namespace f1

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/scratch.h"
 #include "modular/modarith.h"
 
 namespace f1 {
@@ -67,7 +68,7 @@ BasisExtender::extend(std::span<const uint32_t> in, size_t n,
     constexpr size_t kBlock = 512;
     const size_t nblocks = (n + kBlock - 1) / kBlock;
     parallelFor(0, nblocks, [&](size_t b) {
-        std::vector<uint32_t> w(l);
+        auto w = ScratchArena::u32(l);
         const size_t jEnd = std::min(n, (b + 1) * kBlock);
         for (size_t j = b * kBlock; j < jEnd; ++j) {
             double frac = 0;

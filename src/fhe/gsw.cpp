@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/scratch.h"
 #include "modular/modarith.h"
 
 namespace f1 {
@@ -44,9 +45,9 @@ GswScheme::encryptScalar(uint64_t m, size_t level)
 {
     const PolyContext *pc = ctx_->polyContext();
     // Constant polynomial m.
-    std::vector<int64_t> coeffs(ctx_->n(), 0);
+    auto coeffs = ScratchArena::i64(ctx_->n(), /*zeroed=*/true);
     coeffs[0] = static_cast<int64_t>(m);
-    RnsPoly mp = RnsPoly::fromSigned(pc, level, coeffs);
+    RnsPoly mp = RnsPoly::fromSigned(pc, level, coeffs.span());
     RnsPoly sm = bgv_->secretKey().s.restricted(level).mul(mp);
 
     RgswCiphertext out;

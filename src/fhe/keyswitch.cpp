@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/scratch.h"
 #include "fhe/basis_extend.h"
 #include "modular/modarith.h"
 
@@ -18,18 +19,34 @@ namespace {
 
 /**
  * Centered lift of a single coefficient-domain residue (values mod
- * from_q) into signed integers.
+ * from_q) into signed integers, written into caller-provided scratch.
  */
-std::vector<int64_t>
-centeredLift(std::span<const uint32_t> res, uint32_t from_q)
+void
+centeredLiftInto(std::span<const uint32_t> res, uint32_t from_q,
+                 std::span<int64_t> out)
 {
-    std::vector<int64_t> out(res.size());
     const uint32_t half = from_q / 2;
     for (size_t j = 0; j < res.size(); ++j) {
         out[j] = res[j] > half ? (int64_t)res[j] - from_q
                                : (int64_t)res[j];
     }
-    return out;
+}
+
+/**
+ * Digit i of x in coefficient form, center-lifted: the shared scratch
+ * pattern of both key-switch variants and the digit decomposition.
+ */
+ScratchArena::Handle<int64_t>
+liftedDigit(const RnsPoly &x, size_t i)
+{
+    const PolyContext *pc = x.context();
+    const uint32_t n = pc->n();
+    auto yi = ScratchArena::u32(n);
+    std::copy(x.residue(i).begin(), x.residue(i).end(), yi.data());
+    pc->tables(i).inverse(yi.span());
+    auto lifted = ScratchArena::i64(n);
+    centeredLiftInto(yi.span(), pc->modulus(i), lifted.span());
+    return lifted;
 }
 
 } // namespace
@@ -159,14 +176,12 @@ digitDecomposeLift(const RnsPoly &x)
     for (size_t i = 0; i < level; ++i) {
         // Digit i: residue i of x, taken to coefficient form and
         // center-lifted into every modulus (Listing 1 lines 3 and 8).
-        std::vector<uint32_t> yi(x.residue(i).begin(),
-                                 x.residue(i).end());
-        pc->tables(i).inverse(yi);
-        auto lifted = centeredLift(yi, pc->modulus(i));
+        auto lifted = liftedDigit(x, i);
 
         // One limb per work unit: each target residue reduces the
         // shared lift and transforms into its own NTT domain.
         RnsPoly xt(pc, level, Domain::kNtt);
+        std::span<const int64_t> lift = lifted.span();
         parallelForLimbs(level, [&](size_t j) {
             auto dst = xt.residue(j);
             if (j == i) {
@@ -177,7 +192,7 @@ digitDecomposeLift(const RnsPoly &x)
             }
             const uint32_t qj = pc->modulus(j);
             for (size_t idx = 0; idx < n; ++idx) {
-                int64_t v = lifted[idx] % (int64_t)qj;
+                int64_t v = lift[idx] % (int64_t)qj;
                 if (v < 0)
                     v += qj;
                 dst[idx] = static_cast<uint32_t>(v);
@@ -200,35 +215,34 @@ KeySwitcher::applyDigitScaled(const RnsPoly &x, const KeySwitchHint &hint,
     const uint32_t n = pc->n();
 
     // Accumulators over level cipher residues + the special residue.
-    std::vector<uint32_t> acc0((level + 1) * n, 0);
-    std::vector<uint32_t> acc1((level + 1) * n, 0);
+    auto acc0 = ScratchArena::u32((level + 1) * n, /*zeroed=*/true);
+    auto acc1 = ScratchArena::u32((level + 1) * n, /*zeroed=*/true);
 
     for (size_t i = 0; i < level; ++i) {
         // Digit i in coefficient form, center-lifted.
-        std::vector<uint32_t> yi(x.residue(i).begin(),
-                                 x.residue(i).end());
-        pc->tables(i).inverse(yi);
-        auto lifted = centeredLift(yi, pc->modulus(i));
+        auto lifted = liftedDigit(x, i);
+        std::span<const int64_t> lift = lifted.span();
 
         // Multiply-accumulate against hint digit i over each track.
         // Tracks write disjoint accumulator slices and read the shared
-        // lift, so they map one-per-limb onto the pool.
+        // lift, so they map one-per-limb onto the pool. The per-track
+        // NTT input comes from the worker's own scratch cache.
         parallelFor(0, level + 1, [&](size_t track) {
             const size_t ridx = track < level ? track : sp;
             const uint32_t m = pc->modulus(ridx);
             const uint32_t *xt;
-            std::vector<uint32_t> tmp;
+            ScratchArena::Handle<uint32_t> tmp;
             if (track == i) {
                 xt = x.residue(i).data();
             } else {
-                tmp.resize(n);
+                tmp = ScratchArena::u32(n);
                 for (size_t idx = 0; idx < n; ++idx) {
-                    int64_t v = lifted[idx] % (int64_t)m;
+                    int64_t v = lift[idx] % (int64_t)m;
                     if (v < 0)
                         v += m;
                     tmp[idx] = static_cast<uint32_t>(v);
                 }
-                pc->tables(ridx).forward(tmp);
+                pc->tables(ridx).forward(tmp.span());
                 xt = tmp.data();
             }
             auto ha = hint.a[i].residue(ridx);
@@ -247,7 +261,7 @@ KeySwitcher::applyDigitScaled(const RnsPoly &x, const KeySwitchHint &hint,
     // Divide both accumulators by p_sp with errorScale-adjusted
     // rounding (δ ≡ acc mod p_sp, δ ≡ 0 mod errorScale), the hybrid
     // step that shrinks key-switch noise by ~log2(p_sp) bits.
-    auto scaleDown = [&](std::vector<uint32_t> &acc) {
+    auto scaleDown = [&](std::span<uint32_t> acc) {
         std::span<uint32_t> spTrack(acc.data() + level * n, n);
         pc->tables(sp).inverse(spTrack);
         if (errorScale != 1) {
@@ -257,7 +271,7 @@ KeySwitcher::applyDigitScaled(const RnsPoly &x, const KeySwitchHint &hint,
             for (auto &v : spTrack)
                 v = mulModShoup(v, tinv, pre, p_sp);
         }
-        std::vector<int64_t> delta(n);
+        auto delta = ScratchArena::i64(n);
         const uint32_t half = p_sp / 2;
         for (size_t idx = 0; idx < n; ++idx) {
             int64_t d = spTrack[idx] > half
@@ -267,7 +281,7 @@ KeySwitcher::applyDigitScaled(const RnsPoly &x, const KeySwitchHint &hint,
         }
         RnsPoly result(pc, level, Domain::kNtt);
         RnsPoly dpoly =
-            RnsPoly::fromSigned(pc, level, delta, Domain::kNtt);
+            RnsPoly::fromSigned(pc, level, delta.span(), Domain::kNtt);
         parallelForLimbs(level, [&](size_t j) {
             const uint32_t q = pc->modulus(j);
             const uint32_t pinv = invMod(p_sp % q, q);
@@ -283,8 +297,8 @@ KeySwitcher::applyDigitScaled(const RnsPoly &x, const KeySwitchHint &hint,
         return result;
     };
 
-    RnsPoly u0 = scaleDown(acc0);
-    RnsPoly u1 = scaleDown(acc1);
+    RnsPoly u0 = scaleDown(acc0.span());
+    RnsPoly u1 = scaleDown(acc1.span());
     return {std::move(u0), std::move(u1)};
 }
 
@@ -306,23 +320,28 @@ KeySwitcher::applyGhs(const RnsPoly &x, const KeySwitchHint &hint,
         dst[k] = aux_base + k;
     BasisExtender up(pc, src, dst);
 
-    std::vector<uint32_t> coeff(level * n);
+    auto coeff = ScratchArena::u32(level * n);
     parallelForLimbs(level, [&](size_t i) {
         std::copy(x.residue(i).begin(), x.residue(i).end(),
-                  coeff.begin() + i * n);
+                  coeff.data() + i * n);
         std::span<uint32_t> row(coeff.data() + i * n, n);
         pc->tables(i).inverse(row);
     });
-    std::vector<uint32_t> ext(aux * n);
-    up.extend(coeff, n, ext);
+    auto ext = ScratchArena::u32(aux * n);
+    up.extend(coeff.span(), n, ext.span());
+    coeff.reset();
 
     // 2. Pointwise multiply by the hint over level + aux residues.
     //    Work on two tracks: ciphertext residues (from x, NTT) and aux
     //    residues (extended, NTT after transform). All level + aux
     //    limbs are independent work units.
     auto mulTrack = [&](const RnsPoly &h) {
-        // Returns {cipherResidues(level), auxResidues(aux)} both NTT.
-        std::vector<uint32_t> cres(level * n), ares(aux * n);
+        // Returns {cipherResidues(level), auxResidues(aux)} both NTT,
+        // as movable arena checkouts consumed by scaleDown below.
+        auto cres = ScratchArena::u32(level * n);
+        auto ares = ScratchArena::u32(aux * n);
+        uint32_t *const cresp = cres.data();
+        uint32_t *const aresp = ares.data();
         parallelForLimbs(level + aux, [&](size_t u) {
             if (u < level) {
                 const size_t i = u;
@@ -330,16 +349,17 @@ KeySwitcher::applyGhs(const RnsPoly &x, const KeySwitchHint &hint,
                 auto hx = h.residue(i);
                 auto xr = x.residue(i);
                 for (size_t idx = 0; idx < n; ++idx)
-                    cres[i * n + idx] = mulMod(xr[idx], hx[idx], q);
+                    cresp[i * n + idx] = mulMod(xr[idx], hx[idx], q);
             } else {
                 const size_t k = u - level;
                 const uint32_t p = pc->modulus(aux_base + k);
-                std::vector<uint32_t> t(ext.begin() + k * n,
-                                        ext.begin() + (k + 1) * n);
-                pc->tables(aux_base + k).forward(t);
+                auto t = ScratchArena::u32(n);
+                std::copy(ext.data() + k * n, ext.data() + (k + 1) * n,
+                          t.data());
+                pc->tables(aux_base + k).forward(t.span());
                 auto hx = h.residue(aux_base + k);
                 for (size_t idx = 0; idx < n; ++idx)
-                    ares[k * n + idx] = mulMod(t[idx], hx[idx], p);
+                    aresp[k * n + idx] = mulMod(t[idx], hx[idx], p);
             }
         });
         return std::make_pair(std::move(cres), std::move(ares));
@@ -353,8 +373,8 @@ KeySwitcher::applyGhs(const RnsPoly &x, const KeySwitchHint &hint,
     BasisExtender down(pc, dst, src);
     const uint64_t t_adj = errorScale;
 
-    auto scaleDown = [&](std::vector<uint32_t> &cres,
-                         std::vector<uint32_t> &ares) {
+    auto scaleDown = [&](ScratchArena::Handle<uint32_t> &cres,
+                         ScratchArena::Handle<uint32_t> &ares) {
         // Aux residues to coefficient form.
         parallelForLimbs(aux, [&](size_t k) {
             std::span<uint32_t> row(ares.data() + k * n, n);
@@ -370,8 +390,9 @@ KeySwitcher::applyGhs(const RnsPoly &x, const KeySwitchHint &hint,
             }
         });
         // Extend u to the ciphertext basis; δ = t * u.
-        std::vector<uint32_t> delta(level * n);
-        down.extend(ares, n, delta);
+        auto delta = ScratchArena::u32(level * n);
+        down.extend(ares.span(), n, delta.span());
+        ares.reset();
 
         RnsPoly result(pc, level, Domain::kNtt);
         parallelForLimbs(level, [&](size_t i) {
@@ -416,32 +437,33 @@ dropLastModulusRounded(RnsPoly &p, uint64_t tAdjust)
     const uint32_t n = pc->n();
 
     // Last residue to coefficient form.
-    std::vector<uint32_t> y(p.residue(last).begin(),
-                            p.residue(last).end());
-    pc->tables(last).inverse(y);
+    auto y = ScratchArena::u32(n);
+    std::copy(p.residue(last).begin(), p.residue(last).end(), y.data());
+    pc->tables(last).inverse(y.span());
 
     // d = y * t^-1 mod q_last (t-adjusted rounding), centered; δ = t*d.
     if (tAdjust != 1) {
         const uint32_t tinv = invMod(
             static_cast<uint32_t>(tAdjust % q_last), q_last);
         const uint32_t pre = shoupPrecompute(tinv, q_last);
-        for (auto &v : y)
+        for (auto &v : y.span())
             v = mulModShoup(v, tinv, pre, q_last);
     }
-    std::vector<int64_t> delta(n);
+    auto delta = ScratchArena::i64(n);
     const uint32_t half = q_last / 2;
     for (size_t j = 0; j < n; ++j) {
         int64_t d = y[j] > half ? (int64_t)y[j] - q_last : (int64_t)y[j];
         delta[j] = d * static_cast<int64_t>(tAdjust);
     }
 
-    RnsPoly dpoly = RnsPoly::fromSigned(pc, last, delta, Domain::kNtt);
+    RnsPoly dpoly =
+        RnsPoly::fromSigned(pc, last, delta.span(), Domain::kNtt);
     p.dropLastResidue();
     p -= dpoly;
-    std::vector<uint32_t> scal(last);
+    auto scal = ScratchArena::u32(last);
     for (size_t i = 0; i < last; ++i)
         scal[i] = invMod(q_last % pc->modulus(i), pc->modulus(i));
-    p.mulScalarPerResidue(scal);
+    p.mulScalarPerResidue(scal.span());
 }
 
 } // namespace f1

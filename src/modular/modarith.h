@@ -5,7 +5,10 @@
  * F1 operates on 32-bit residue words (paper §2.3: RNS representation
  * with W = 32-bit words). All library moduli are primes q < 2^31 so that
  * lazy sums of two residues still fit a 32-bit word and 64-bit
- * intermediates never overflow.
+ * intermediates never overflow. NTT moduli are further restricted to
+ * q < 2^30 (kLazyModulusBits) so the Harvey lazy-butterfly pipeline can
+ * carry values in [0, 4q) without overflow; see mulModShoupLazy and the
+ * value-range table in README.md.
  */
 #ifndef F1_MODULAR_MODARITH_H
 #define F1_MODULAR_MODARITH_H
@@ -18,6 +21,14 @@ namespace f1 {
 
 /** Maximum supported modulus width in bits. */
 constexpr int kMaxModulusBits = 31;
+
+/**
+ * Maximum modulus width for the lazy (Harvey) NTT pipeline. Lazy
+ * butterflies keep values in [0, 4q) between stages, so the modulus
+ * must satisfy 4q < 2^32, i.e. q < 2^30. NttTables enforces this at
+ * construction.
+ */
+constexpr int kLazyModulusBits = 30;
 
 /** a + b mod q, inputs already reduced. */
 inline uint32_t
@@ -94,6 +105,52 @@ mulModShoup(uint32_t a, uint32_t w, uint32_t precon, uint32_t q)
     uint32_t r = static_cast<uint32_t>(
         (uint64_t)a * w - (uint64_t)hi * q);
     return r >= q ? r - q : r;
+}
+
+/**
+ * Lazy Shoup multiplication: like mulModShoup but without the final
+ * conditional subtraction. Returns a * w mod q in [0, 2q). Valid for
+ * ANY 32-bit a (including lazy values up to 4q) and w < q — the Shoup
+ * error bound r < a*w/2^32 + q < 2q holds for the full 32-bit range
+ * of a. This is the butterfly multiply of the Harvey NTT.
+ */
+inline uint32_t
+mulModShoupLazy(uint32_t a, uint32_t w, uint32_t precon, uint32_t q)
+{
+    uint32_t hi = static_cast<uint32_t>(((uint64_t)a * precon) >> 32);
+    return static_cast<uint32_t>((uint64_t)a * w - (uint64_t)hi * q);
+}
+
+/**
+ * Lazy addition: a + b with no reduction. For a, b < 2q the result is
+ * in [0, 4q), which fits a 32-bit word when q < 2^30.
+ */
+inline uint32_t
+addLazy(uint32_t a, uint32_t b)
+{
+    return a + b;
+}
+
+/**
+ * Lazy subtraction: a - b + 2q with twoQ = 2q precomputed by the
+ * caller. For a, b < 2q the result is in (0, 4q); no reduction.
+ */
+inline uint32_t
+subLazy(uint32_t a, uint32_t b, uint32_t twoQ)
+{
+    return a + twoQ - b;
+}
+
+/**
+ * Final correction pass of the lazy pipeline: reduces x in [0, 4q)
+ * to the canonical representative in [0, q). twoQ = 2q.
+ */
+inline uint32_t
+lazyCorrect(uint32_t x, uint32_t q, uint32_t twoQ)
+{
+    if (x >= twoQ)
+        x -= twoQ;
+    return x >= q ? x - q : x;
 }
 
 } // namespace f1

@@ -11,6 +11,11 @@ NttTables::NttTables(uint32_t n, uint32_t q) : n_(n), q_(q)
 {
     F1_REQUIRE(isPowerOfTwo(n) && n >= 2, "NTT length must be a power "
                "of two >= 2, got " << n);
+    // Harvey lazy butterflies carry values in [0, 4q); 4q must fit a
+    // 32-bit word.
+    F1_REQUIRE(q < (1u << kLazyModulusBits),
+               "modulus " << q << " leaves no lazy-reduction headroom "
+               "(need q < 2^" << kLazyModulusBits << ")");
     F1_REQUIRE((q - 1) % (2 * n) == 0,
                "modulus " << q << " is not NTT-friendly for n=" << n);
     logN_ = log2Exact(n);
@@ -90,8 +95,125 @@ bitReversePermute(std::span<uint32_t> a)
 
 } // namespace
 
+/**
+ * Lazy Cooley-Tukey (decimation-in-time) forward stages: bit-reversal
+ * followed by Harvey butterflies. Accepts values in [0, 4q); leaves
+ * values in [0, 4q). Per butterfly: the upper input is conditionally
+ * reduced into [0, 2q), the lower is multiplied lazily into [0, 2q),
+ * and the outputs x+t / x-t+2q land back in [0, 4q).
+ */
+void
+NttTables::forwardStagesLazy(std::span<uint32_t> a) const
+{
+    const uint32_t len = static_cast<uint32_t>(a.size());
+    const uint32_t q = q_;
+    const uint32_t twoQ = 2 * q;
+    bitReversePermute(a);
+    for (uint32_t half = 1; half < len; half <<= 1) {
+        const uint32_t *tw = tw_.data() + half;
+        const uint32_t *twPre = twPre_.data() + half;
+        for (uint32_t base = 0; base < len; base += 2 * half) {
+            uint32_t *lo = a.data() + base;
+            uint32_t *hi = lo + half;
+            for (uint32_t j = 0; j < half; ++j) {
+                uint32_t x = lo[j];
+                if (x >= twoQ)
+                    x -= twoQ;
+                const uint32_t t =
+                    mulModShoupLazy(hi[j], tw[j], twPre[j], q);
+                lo[j] = addLazy(x, t);
+                hi[j] = subLazy(x, t, twoQ);
+            }
+        }
+    }
+}
+
+/**
+ * Lazy Gentleman-Sande (decimation-in-frequency) inverse stages with a
+ * trailing bit-reversal — the exact same unscaled inverse DFT the
+ * strict DIT loop computes, but with the invariant that every value
+ * stays in [0, 2q): the sum butterfly output is conditionally reduced,
+ * the difference goes through the lazy multiply. Callers apply the
+ * 1/len (or fused ψ^-i/n) scaling with a fully-reducing mulModShoup,
+ * which accepts the [0, 2q) inputs and restores [0, q).
+ */
+void
+NttTables::inverseStagesLazy(std::span<uint32_t> a) const
+{
+    const uint32_t len = static_cast<uint32_t>(a.size());
+    const uint32_t q = q_;
+    const uint32_t twoQ = 2 * q;
+    for (uint32_t half = len >> 1; half >= 1; half >>= 1) {
+        const uint32_t *tw = twInv_.data() + half;
+        const uint32_t *twPre = twInvPre_.data() + half;
+        for (uint32_t base = 0; base < len; base += 2 * half) {
+            uint32_t *lo = a.data() + base;
+            uint32_t *hi = lo + half;
+            for (uint32_t j = 0; j < half; ++j) {
+                const uint32_t u = lo[j];
+                const uint32_t v = hi[j];
+                uint32_t s = addLazy(u, v); // [0, 4q)
+                if (s >= twoQ)
+                    s -= twoQ;
+                lo[j] = s;
+                hi[j] = mulModShoupLazy(subLazy(u, v, twoQ),
+                                        tw[j], twPre[j], q);
+            }
+        }
+    }
+    bitReversePermute(a);
+}
+
 void
 NttTables::cyclicForward(std::span<uint32_t> a) const
+{
+    const uint32_t len = static_cast<uint32_t>(a.size());
+    F1_CHECK(isPowerOfTwo(len) && len <= n_, "bad cyclic NTT length");
+    forwardStagesLazy(a);
+    const uint32_t twoQ = 2 * q_;
+    for (auto &x : a)
+        x = lazyCorrect(x, q_, twoQ);
+}
+
+void
+NttTables::cyclicInverse(std::span<uint32_t> a) const
+{
+    const uint32_t len = static_cast<uint32_t>(a.size());
+    F1_CHECK(isPowerOfTwo(len) && len <= n_, "bad cyclic NTT length");
+    inverseStagesLazy(a);
+    const uint32_t lg = log2Exact(len);
+    // Fully-reducing scale: accepts [0, 2q), restores [0, q).
+    for (auto &x : a)
+        x = mulModShoup(x, lenInv_[lg], lenInvPre_[lg], q_);
+}
+
+void
+NttTables::forward(std::span<uint32_t> a) const
+{
+    F1_CHECK(a.size() == n_, "forward NTT length mismatch");
+    // ψ-powers pre-multiplication, lazily into [0, 2q).
+    for (uint32_t i = 0; i < n_; ++i)
+        a[i] = mulModShoupLazy(a[i], psiPow_[i], psiPowPre_[i], q_);
+    forwardStagesLazy(a);
+    const uint32_t twoQ = 2 * q_;
+    for (auto &x : a)
+        x = lazyCorrect(x, q_, twoQ);
+}
+
+void
+NttTables::inverse(std::span<uint32_t> a) const
+{
+    F1_CHECK(a.size() == n_, "inverse NTT length mismatch");
+    // Unscaled lazy inverse FFT, then ψ^-i/n in one fully-reducing
+    // pass (the fused table folds the 1/n in; it also serves as the
+    // lazy pipeline's correction pass).
+    inverseStagesLazy(a);
+    for (uint32_t i = 0; i < n_; ++i)
+        a[i] = mulModShoup(a[i], psiInvN_[i], psiInvNPre_[i], q_);
+}
+
+void
+NttTables::cyclicForwardStrict(std::span<uint32_t> a) const
 {
     const uint32_t len = static_cast<uint32_t>(a.size());
     F1_CHECK(isPowerOfTwo(len) && len <= n_, "bad cyclic NTT length");
@@ -111,7 +233,7 @@ NttTables::cyclicForward(std::span<uint32_t> a) const
 }
 
 void
-NttTables::cyclicInverse(std::span<uint32_t> a) const
+NttTables::cyclicInverseStrict(std::span<uint32_t> a) const
 {
     const uint32_t len = static_cast<uint32_t>(a.size());
     F1_CHECK(isPowerOfTwo(len) && len <= n_, "bad cyclic NTT length");
@@ -134,22 +256,18 @@ NttTables::cyclicInverse(std::span<uint32_t> a) const
 }
 
 void
-NttTables::forward(std::span<uint32_t> a) const
+NttTables::forwardStrict(std::span<uint32_t> a) const
 {
     F1_CHECK(a.size() == n_, "forward NTT length mismatch");
     for (uint32_t i = 0; i < n_; ++i)
         a[i] = mulModShoup(a[i], psiPow_[i], psiPowPre_[i], q_);
-    cyclicForward(a);
+    cyclicForwardStrict(a);
 }
 
 void
-NttTables::inverse(std::span<uint32_t> a) const
+NttTables::inverseStrict(std::span<uint32_t> a) const
 {
     F1_CHECK(a.size() == n_, "inverse NTT length mismatch");
-    // cyclicInverse already scales by 1/n; psiInvN_ tables fold another
-    // 1/n, so undo one of them by using raw psi^-i here. To keep a
-    // single fused table we instead run the unscaled inverse FFT and
-    // apply psi^-i/n in one pass.
     bitReversePermute(a);
     for (uint32_t half = 1; half < n_; half <<= 1) {
         for (uint32_t base = 0; base < n_; base += 2 * half) {

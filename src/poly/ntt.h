@@ -28,8 +28,19 @@ namespace f1 {
 
 /**
  * Precomputed constants for NTTs of length n modulo q. q must satisfy
- * q ≡ 1 (mod 2n). All twiddles carry Shoup precomputations so butterfly
- * multiplications take a single mulhi + correction.
+ * q ≡ 1 (mod 2n) and q < 2^30 (lazy-reduction headroom). All twiddles
+ * carry Shoup precomputations so butterfly multiplications take a
+ * single mulhi (+ correction on the strict path).
+ *
+ * The production transforms use Harvey lazy butterflies: intermediate
+ * values stay in [0, 4q) through the forward stages and [0, 2q)
+ * through the inverse stages, with a single correction pass at the
+ * end (folded into the ψ^-i/N scaling for the negacyclic inverse).
+ * Inputs must be reduced ([0, q)); outputs are reduced. The *Strict
+ * variants run the original fully-reduced butterflies and exist as
+ * the golden reference for equivalence tests and the bench_ntt_lazy
+ * baseline — both paths are bit-identical by construction (exact
+ * modular arithmetic, same transform).
  */
 class NttTables
 {
@@ -54,11 +65,24 @@ class NttTables
     void cyclicForward(std::span<uint32_t> a) const;
     void cyclicInverse(std::span<uint32_t> a) const; // includes 1/len
 
+    /**
+     * Strict-reduction reference path (the pre-lazy implementation):
+     * every butterfly fully reduces into [0, q). Outputs are
+     * bit-identical to the lazy path; kept for equivalence tests and
+     * as the bench_ntt_lazy baseline.
+     */
+    void forwardStrict(std::span<uint32_t> a) const;
+    void inverseStrict(std::span<uint32_t> a) const;
+    void cyclicForwardStrict(std::span<uint32_t> a) const;
+    void cyclicInverseStrict(std::span<uint32_t> a) const;
+
     /** ω^e where ω = ψ² is the primitive n-th root used by the FFT. */
     uint32_t omegaPow(uint64_t e) const;
 
   private:
     void buildTwiddles();
+    void forwardStagesLazy(std::span<uint32_t> a) const;
+    void inverseStagesLazy(std::span<uint32_t> a) const;
 
     uint32_t n_;
     uint32_t logN_;

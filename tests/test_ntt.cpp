@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "fhe/fhe_context.h"
 #include "modular/modarith.h"
 #include "modular/primes.h"
 #include "poly/fourstep.h"
@@ -23,6 +24,25 @@ randomPoly(uint32_t n, uint32_t q, Rng &rng)
     for (auto &x : a)
         x = static_cast<uint32_t>(rng.uniform(q));
     return a;
+}
+
+/** O(len^2) cyclic DFT with root w of order len: out[k] = Σ a[j] w^jk. */
+std::vector<uint32_t>
+slowCyclicDft(std::span<const uint32_t> a, uint32_t q, uint32_t w)
+{
+    const size_t len = a.size();
+    std::vector<uint32_t> out(len);
+    for (size_t k = 0; k < len; ++k) {
+        uint64_t acc = 0;
+        const uint32_t wk = powMod(w, k, q);
+        uint32_t x = 1;
+        for (size_t j = 0; j < len; ++j) {
+            acc = (acc + (uint64_t)a[j] * x) % q;
+            x = mulMod(x, wk, q);
+        }
+        out[k] = static_cast<uint32_t>(acc);
+    }
+    return out;
 }
 
 class NttParamTest : public ::testing::TestWithParam<uint32_t>
@@ -173,6 +193,145 @@ TEST(Ntt, CyclicForwardInverseRoundTripSubLengths)
         t.cyclicInverse(a);
         EXPECT_EQ(a, orig) << "len=" << len;
     }
+}
+
+TEST(NttCyclicShort, ForwardMatchesSlowDftEveryShortLength)
+{
+    // Property check of the len < n cyclic path (the four-step unit's
+    // inner transforms): the FFT must equal the direct DFT with root
+    // ω_len = ω^(n/len) at every power-of-two sub-length.
+    const uint32_t n = 1024;
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    NttTables t(n, q);
+    Rng rng(1001);
+    for (uint32_t len = 2; len <= 256; len <<= 1) {
+        const uint32_t wlen = t.omegaPow(n / len);
+        for (int draw = 0; draw < 3; ++draw) {
+            auto a = randomPoly(len, q, rng);
+            auto ref = slowCyclicDft(a, q, wlen);
+            t.cyclicForward(a);
+            EXPECT_EQ(a, ref) << "len=" << len << " draw=" << draw;
+        }
+    }
+}
+
+TEST(NttCyclicShort, InverseMatchesSlowDftEveryShortLength)
+{
+    // cyclicInverse = direct DFT with ω_len^-1, scaled by 1/len.
+    const uint32_t n = 1024;
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    NttTables t(n, q);
+    Rng rng(1002);
+    for (uint32_t len = 2; len <= 256; len <<= 1) {
+        const uint32_t wlenInv = invMod(t.omegaPow(n / len), q);
+        const uint32_t lenInv = invMod(len, q);
+        for (int draw = 0; draw < 3; ++draw) {
+            auto a = randomPoly(len, q, rng);
+            auto ref = slowCyclicDft(a, q, wlenInv);
+            for (auto &x : ref)
+                x = mulMod(x, lenInv, q);
+            t.cyclicInverse(a);
+            EXPECT_EQ(a, ref) << "len=" << len << " draw=" << draw;
+        }
+    }
+}
+
+TEST(NttCyclicShort, LinearityAndRoundTripProperty)
+{
+    const uint32_t n = 512;
+    const uint32_t q = generateNttPrimes(1, 28, n)[0];
+    NttTables t(n, q);
+    Rng rng(1003);
+    for (uint32_t len : {2u, 4u, 16u, 128u, 256u}) {
+        for (int draw = 0; draw < 4; ++draw) {
+            auto a = randomPoly(len, q, rng);
+            auto b = randomPoly(len, q, rng);
+            std::vector<uint32_t> sum(len);
+            for (uint32_t i = 0; i < len; ++i)
+                sum[i] = addMod(a[i], b[i], q);
+            auto fa = a, fb = b, fsum = sum;
+            t.cyclicForward(fa);
+            t.cyclicForward(fb);
+            t.cyclicForward(fsum);
+            for (uint32_t i = 0; i < len; ++i)
+                EXPECT_EQ(fsum[i], addMod(fa[i], fb[i], q))
+                    << "len=" << len;
+            t.cyclicInverse(fa);
+            EXPECT_EQ(fa, a) << "round trip len=" << len;
+        }
+    }
+}
+
+class NttLazyStrict : public ::testing::Test
+{
+  protected:
+    /** Lazy and strict paths must agree transform-by-transform. */
+    static void
+    expectEquivalent(const NttTables &t, Rng &rng)
+    {
+        const uint32_t n = t.n();
+        const uint32_t q = t.q();
+        auto a = randomPoly(n, q, rng);
+        auto b = a;
+        t.forward(a);
+        t.forwardStrict(b);
+        EXPECT_EQ(a, b) << "forward, q=" << q;
+        t.inverse(a);
+        t.inverseStrict(b);
+        EXPECT_EQ(a, b) << "inverse, q=" << q;
+
+        auto c = randomPoly(n, q, rng);
+        auto d = c;
+        t.cyclicForward(c);
+        t.cyclicForwardStrict(d);
+        EXPECT_EQ(c, d) << "cyclicForward, q=" << q;
+        t.cyclicInverse(c);
+        t.cyclicInverseStrict(d);
+        EXPECT_EQ(c, d) << "cyclicInverse, q=" << q;
+    }
+};
+
+TEST_F(NttLazyStrict, EquivalentOnEveryChainAndAuxPrime)
+{
+    // Full PolyContext layout: ciphertext chain + aux block + special
+    // prime, exactly as key-switching sees it.
+    FheParams p;
+    p.n = 256;
+    p.maxLevel = 4;
+    p.auxCount = 3;
+    p.primeBits = 28;
+    p.plainModulus = 257;
+    FheContext ctx(p);
+    const PolyContext *pc = ctx.polyContext();
+    Rng rng(2024);
+    for (size_t i = 0; i < pc->chainLength(); ++i) {
+        SCOPED_TRACE("modulus index " + std::to_string(i));
+        expectEquivalent(pc->tables(i), rng);
+    }
+}
+
+TEST_F(NttLazyStrict, EquivalentAtHeadroomBoundPrime)
+{
+    // The largest NTT-friendly q below the lazy bound 2^30: every
+    // lazy intermediate sits within one bit of overflow here.
+    for (uint32_t n : {128u, 4096u}) {
+        const uint32_t q = generateNttPrimes(1, 30, n)[0];
+        ASSERT_LT(q, 1u << 30);
+        ASSERT_GT(q, 1u << 29);
+        NttTables t(n, q);
+        Rng rng(n);
+        for (int draw = 0; draw < 4; ++draw)
+            expectEquivalent(t, rng);
+    }
+}
+
+TEST_F(NttLazyStrict, RejectsModulusWithoutLazyHeadroom)
+{
+    // A 31-bit NTT-friendly prime satisfies q ≡ 1 (mod 2n) but leaves
+    // no room for [0, 4q) intermediates; construction must refuse it.
+    const uint32_t q31 = generateNttPrimes(1, 31, 128)[0];
+    ASSERT_GE(q31, 1u << 30);
+    EXPECT_THROW(NttTables(128, q31), FatalError);
 }
 
 TEST(Ntt, RejectsNonNttFriendlyModulus)

@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <thread>
 #include <type_traits>
 
 #include "common/error.h"
@@ -86,6 +89,91 @@ TEST(ParallelFor, NestedCallsRunInline)
         });
         EXPECT_EQ(std::accumulate(grid.begin(), grid.end(), 0), 64);
     });
+}
+
+TEST(ParallelFor, PoolUsableAfterBodyThrow)
+{
+    // Regression for the st.body lifetime bug: after a batch whose
+    // body throws, the pool's shared state must not retain a pointer
+    // into the dead run() frame — follow-up batches (with different
+    // bodies and stack layouts) must execute normally.
+    withThreads(4, [] {
+        for (int round = 0; round < 8; ++round) {
+            EXPECT_THROW(parallelFor(0, 64,
+                                     [&](size_t i) {
+                                         if (i % 7 == 3)
+                                             F1_FATAL("boom " << i);
+                                     }),
+                         FatalError);
+            std::atomic<int> calls{0};
+            parallelFor(0, 64, [&](size_t) { ++calls; });
+            EXPECT_EQ(calls.load(), 64);
+        }
+    });
+}
+
+TEST(ParallelFor, PoolReplacementWithInFlightBatches)
+{
+    // Stress for the setGlobalThreadCount() use-after-free: caller
+    // threads hammer parallelFor while the main thread keeps swapping
+    // the global pool. Each batch runs to completion on the pool it
+    // snapshotted; under ASan the old code's destroyed-pool window
+    // faults here.
+    std::atomic<bool> stop{false};
+    constexpr uint64_t kExpected = 64 * 63 / 2;
+    std::vector<std::thread> callers;
+    for (int t = 0; t < 3; ++t) {
+        callers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                std::atomic<uint64_t> sum{0};
+                parallelFor(0, 64, [&](size_t i) {
+                    sum.fetch_add(i, std::memory_order_relaxed);
+                });
+                EXPECT_EQ(sum.load(), kExpected);
+            }
+        });
+    }
+    for (int round = 0; round < 40; ++round)
+        setGlobalThreadCount(1 + round % 4);
+    stop = true;
+    for (auto &c : callers)
+        c.join();
+    setGlobalThreadCount(0);
+}
+
+TEST(ThreadCount, ParserAcceptsPositiveDecimals)
+{
+    EXPECT_EQ(parseThreadCountEnv("1"), 1u);
+    EXPECT_EQ(parseThreadCountEnv("8"), 8u);
+    EXPECT_EQ(parseThreadCountEnv("128"), 128u);
+    EXPECT_EQ(parseThreadCountEnv(" 16"), 16u);
+    EXPECT_EQ(parseThreadCountEnv("+4"), 4u);
+}
+
+TEST(ThreadCount, ParserRejectsMalformedValues)
+{
+    EXPECT_THROW(parseThreadCountEnv(""), FatalError);
+    EXPECT_THROW(parseThreadCountEnv("0"), FatalError);
+    EXPECT_THROW(parseThreadCountEnv("-3"), FatalError);
+    EXPECT_THROW(parseThreadCountEnv("8x"), FatalError);
+    EXPECT_THROW(parseThreadCountEnv("2 4"), FatalError);
+    EXPECT_THROW(parseThreadCountEnv("threads"), FatalError);
+    EXPECT_THROW(parseThreadCountEnv("0x8"), FatalError);
+    EXPECT_THROW(parseThreadCountEnv("8."), FatalError);
+    EXPECT_THROW(parseThreadCountEnv("99999999999999999999"),
+                 FatalError);
+}
+
+TEST(ThreadCount, EnvOverrideIsValidatedNotMasked)
+{
+    setenv("F1_THREADS", "3", 1);
+    EXPECT_EQ(configuredThreadCount(), 3u);
+    setenv("F1_THREADS", "8x", 1);
+    EXPECT_THROW(configuredThreadCount(), FatalError);
+    setenv("F1_THREADS", "0", 1);
+    EXPECT_THROW(configuredThreadCount(), FatalError);
+    unsetenv("F1_THREADS");
+    EXPECT_GE(configuredThreadCount(), 1u);
 }
 
 TEST(ParallelFor, GlobalThreadCountControl)
