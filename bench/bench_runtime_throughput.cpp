@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Serving-runtime throughput bench: a batch of independent encrypted
+ * jobs from several logical tenants is executed (a) back-to-back
+ * serially — the pre-runtime deployment model — and (b) through the
+ * ServingEngine at increasing worker counts. Emits one JSON document
+ * (BENCH_runtime.json in CI) with jobs/sec, p50/p95 turnaround
+ * latency, queue latency, and cache hit rates per worker count.
+ *
+ * Every engine run is checked bit-for-bit against the serial
+ * baseline: a throughput number from diverging ciphertexts is a
+ * correctness failure, not a perf data point (exit 1). In full mode
+ * the ≥2x jobs/sec acceptance gate at >=4 workers is enforced
+ * (exit 2 on miss).
+ *
+ * Usage: bench_runtime_throughput [--smoke]
+ *   --smoke  CI canary: small degree, few jobs, workers {1, 2},
+ *            correctness checks only (no speedup gate).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/parallel.h"
+#include "common/time_util.h"
+#include "runtime/op_graph_executor.h"
+#include "runtime/serving.h"
+
+namespace f1::bench {
+namespace {
+
+/** Rotate-accumulate over model weights, then a square: the op mix
+ *  (plain mul, rotations, ct-ct mul, modswitch) of a small inference
+ *  request. */
+Program
+inferenceProgram(uint32_t n)
+{
+    Program p(n, 3, "infer");
+    int x = p.input();
+    int w = p.inputPlain();
+    int m = p.mulPlain(x, w);
+    int r1 = p.rotate(m, 1);
+    int s1 = p.add(m, r1);
+    int r2 = p.rotate(s1, 2);
+    int s2 = p.add(s1, r2);
+    int ms = p.modSwitch(s2);
+    p.output(p.mul(ms, ms));
+    return p;
+}
+
+/** Two-operand aggregate: join-style request shape. */
+Program
+aggregateProgram(uint32_t n)
+{
+    Program p(n, 3, "aggregate");
+    int x = p.input();
+    int y = p.input();
+    int t = p.mul(x, y);
+    int u = p.rotate(t, 3);
+    int v = p.add(t, u);
+    p.output(p.modSwitch(v));
+    return p;
+}
+
+uint64_t
+outputsHash(const ExecutionResult &r)
+{
+    uint64_t h = hashMix(r.outputs.size());
+    for (const auto &[handle, ct] : r.outputs) {
+        h = hashCombine(h, static_cast<uint64_t>(handle));
+        for (const auto &poly : ct.polys)
+            for (uint32_t v : poly.raw())
+                h = hashCombine(h, v);
+        h = hashCombine(h, ct.ptCorrection);
+    }
+    return h;
+}
+
+double
+percentile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        return 0;
+    std::sort(xs.begin(), xs.end());
+    const size_t idx = std::min(
+        xs.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(xs.size())));
+    return xs[idx];
+}
+
+struct SweepRow
+{
+    unsigned workers;
+    double jobsPerSec;
+    double speedup;
+    double p50Ms, p95Ms, queueP95Ms;
+    uint64_t encHits, encMisses;
+    bool bitIdentical;
+};
+
+int
+run(bool smoke)
+{
+    const uint32_t n = smoke ? 1024 : 2048;
+    const size_t kJobs = smoke ? 8 : 32;
+    const std::vector<std::string> tenants = {"alice", "bob", "carol",
+                                              "dave"};
+    std::vector<unsigned> workerCounts =
+        smoke ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 4};
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    if (!smoke && hw > 4)
+        workerCounts.push_back(hw);
+
+    FheParams params;
+    params.n = n;
+    params.maxLevel = 3;
+    params.primeBits = 28;
+    params.plainModulus = 65537;
+    FheContext ctx(params);
+    BgvScheme bgv(&ctx);
+
+    Program infer = inferenceProgram(n);
+    Program aggregate = aggregateProgram(n);
+    std::vector<uint64_t> weights(n);
+    for (size_t i = 0; i < n; ++i)
+        weights[i] = (5 * i + 3) % 65537;
+
+    auto makeRequest = [&](size_t i) {
+        JobRequest req;
+        req.program = i % 2 == 0 ? &infer : &aggregate;
+        req.tenant = tenants[i % tenants.size()];
+        req.inputs.seed = 1000 + i;
+        if (i % 2 == 0)
+            req.inputs.bgvPlainSlots[1] = weights; // shared model
+        return req;
+    };
+
+    // --- Untimed warm-up: one run per program shape generates every
+    // key-switch hint, so neither the baseline nor the engine sweep
+    // absorbs one-time key generation and the comparison measures
+    // job-level parallelism plus encoding reuse, not cache warm-up.
+    {
+        InlineParallelScope inlineScope;
+        for (size_t i = 0; i < 2 && i < kJobs; ++i) {
+            JobRequest req = makeRequest(i);
+            OpGraphExecutor exec(*req.program, &bgv);
+            exec.setDispatchMode(DispatchMode::kSerial);
+            exec.run(req.inputs);
+        }
+    }
+
+    // --- Serial baseline: one job at a time, fully single-threaded,
+    // no encoding cache — back-to-back execution as a non-serving
+    // deployment would run it.
+    std::vector<uint64_t> baselineHash(kJobs);
+    std::vector<double> baselineLat(kJobs);
+    double baselineTotalMs = 0;
+    {
+        InlineParallelScope inlineScope;
+        const double t0 = steadyNowMs();
+        for (size_t i = 0; i < kJobs; ++i) {
+            JobRequest req = makeRequest(i);
+            OpGraphExecutor exec(*req.program, &bgv);
+            exec.setDispatchMode(DispatchMode::kSerial);
+            const double j0 = steadyNowMs();
+            auto res = exec.run(req.inputs);
+            baselineLat[i] = steadyNowMs() - j0;
+            baselineHash[i] = outputsHash(res);
+        }
+        baselineTotalMs = steadyNowMs() - t0;
+    }
+    const double baselineJps =
+        1000.0 * static_cast<double>(kJobs) / baselineTotalMs;
+
+    // --- Engine sweep.
+    std::vector<SweepRow> rows;
+    bool allIdentical = true;
+    for (unsigned workers : workerCounts) {
+        ServingConfig cfg;
+        cfg.workers = workers;
+        ServingEngine engine(&bgv, cfg);
+
+        const double t0 = steadyNowMs();
+        std::vector<std::future<JobResult>> futs;
+        futs.reserve(kJobs);
+        for (size_t i = 0; i < kJobs; ++i)
+            futs.push_back(engine.submit(makeRequest(i)));
+
+        std::vector<double> turnaround(kJobs), queueMs(kJobs);
+        bool identical = true;
+        for (size_t i = 0; i < kJobs; ++i) {
+            JobResult r = futs[i].get();
+            turnaround[i] = r.queueMs + r.serviceMs;
+            queueMs[i] = r.queueMs;
+            identical =
+                identical && outputsHash(r.exec) == baselineHash[i];
+        }
+        const double totalMs = steadyNowMs() - t0;
+        allIdentical = allIdentical && identical;
+
+        const auto stats = engine.stats();
+        const double jps =
+            1000.0 * static_cast<double>(kJobs) / totalMs;
+        rows.push_back({workers, jps, jps / baselineJps,
+                        percentile(turnaround, 0.50),
+                        percentile(turnaround, 0.95),
+                        percentile(queueMs, 0.95),
+                        stats.encodingCacheHits,
+                        stats.encodingCacheMisses, identical});
+    }
+
+    const auto hintStats = bgv.hintCacheStats();
+    printf("{\n  \"bench\": \"runtime_throughput\",\n");
+    printf("  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    printf("  \"hw_concurrency\": %u,\n", hw);
+    printf("  \"n\": %u, \"levels\": 3, \"jobs\": %zu, \"tenants\": "
+           "%zu,\n",
+           n, kJobs, tenants.size());
+    printf("  \"baseline\": {\"jobs_per_sec\": %.2f, \"p50_ms\": %.3f, "
+           "\"p95_ms\": %.3f},\n",
+           baselineJps, percentile(baselineLat, 0.50),
+           percentile(baselineLat, 0.95));
+    printf("  \"results\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &r = rows[i];
+        printf("    {\"workers\": %u, \"jobs_per_sec\": %.2f, "
+               "\"speedup_vs_serial\": %.3f, \"p50_ms\": %.3f, "
+               "\"p95_ms\": %.3f, \"queue_p95_ms\": %.3f, "
+               "\"enc_cache_hits\": %llu, \"enc_cache_misses\": %llu, "
+               "\"bit_identical\": %s}%s\n",
+               r.workers, r.jobsPerSec, r.speedup, r.p50Ms, r.p95Ms,
+               r.queueP95Ms, (unsigned long long)r.encHits,
+               (unsigned long long)r.encMisses,
+               r.bitIdentical ? "true" : "false",
+               i + 1 < rows.size() ? "," : "");
+    }
+    printf("  ],\n");
+    printf("  \"hint_cache\": {\"hits\": %llu, \"misses\": %llu, "
+           "\"evictions\": %llu}\n}\n",
+           (unsigned long long)hintStats.hits,
+           (unsigned long long)hintStats.misses,
+           (unsigned long long)hintStats.evictions);
+
+    if (!allIdentical)
+        return 1;
+    if (!smoke) {
+        // Acceptance gate: >= 2x jobs/sec over back-to-back serial at
+        // >= 4 workers on an independent-job batch.
+        for (const SweepRow &r : rows) {
+            if (r.workers >= 4 && hw >= 4 && r.speedup < 2.0) {
+                fprintf(stderr,
+                        "FAIL: %u workers reached only %.2fx\n",
+                        r.workers, r.speedup);
+                return 2;
+            }
+        }
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace f1::bench
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+    return f1::bench::run(smoke);
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic non-cryptographic hashing for cache keys and derived
+ * PRNG seeds. Based on the splitmix64 finalizer (the same mixer Rng
+ * uses for seeding), so values are stable across platforms and runs —
+ * a requirement for the runtime's determinism contract: key-switch
+ * hints and cache keys derived from these hashes must not depend on
+ * execution order or std::hash implementation details.
+ */
+#ifndef F1_COMMON_HASH_H
+#define F1_COMMON_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace f1 {
+
+/** splitmix64 finalizer: bijective 64-bit mixing. */
+inline uint64_t
+hashMix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Order-sensitive combine: fold `v` into running hash `h`. */
+inline uint64_t
+hashCombine(uint64_t h, uint64_t v)
+{
+    return hashMix(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) +
+                        (h >> 2)));
+}
+
+/** Hash of a span of 64-bit words (length-prefixed). */
+inline uint64_t
+hashU64Span(std::span<const uint64_t> words)
+{
+    uint64_t h = hashMix(words.size());
+    for (uint64_t w : words)
+        h = hashCombine(h, w);
+    return h;
+}
+
+} // namespace f1
+
+#endif // F1_COMMON_HASH_H

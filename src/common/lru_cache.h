@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Thread-safe LRU cache shared by the FHE key-switch hint caches and
+ * the serving runtime's plaintext-encoding cache.
+ *
+ * Values are held as shared_ptr<const V>: an entry handed to a caller
+ * stays valid after a concurrent eviction (the caller's shared_ptr
+ * keeps it alive), so hot-path users never hold the cache lock while
+ * consuming a value. Capacity 0 means unbounded — the scheme-level
+ * hint caches default to that, preserving the pre-runtime behavior of
+ * the std::map caches they replace.
+ *
+ * getOrCreate() runs the factory under the cache lock: concurrent
+ * requests for the same key compute it exactly once, at the cost of
+ * serializing distinct-key factories. That is the right trade for key
+ * material (hint generation is rare and must be deterministic); bulk
+ * users that want concurrent misses (the encoding cache) use the
+ * lock-free-miss get()/put() pair instead and tolerate the benign
+ * duplicate compute.
+ */
+#ifndef F1_COMMON_LRU_CACHE_H
+#define F1_COMMON_LRU_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace f1 {
+
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+
+    double
+    hitRate() const
+    {
+        const uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    }
+};
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache
+{
+  public:
+    /** @param capacity max entries; 0 = unbounded (never evicts). */
+    explicit LruCache(size_t capacity = 0) : capacity_(capacity) {}
+
+    LruCache(const LruCache &) = delete;
+    LruCache &operator=(const LruCache &) = delete;
+
+    /** Looks up `key`; returns nullptr on miss. Counts a hit/miss. */
+    std::shared_ptr<const V>
+    get(const K &key)
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            ++stats_.misses;
+            return nullptr;
+        }
+        ++stats_.hits;
+        touch(it);
+        return it->second.value;
+    }
+
+    /**
+     * Inserts or refreshes `key`. Returns the cached pointer (the
+     * existing one if another thread raced the insert first — the
+     * first value wins, keeping all readers consistent).
+     */
+    std::shared_ptr<const V>
+    put(const K &key, V value)
+    {
+        return putShared(key,
+                         std::make_shared<const V>(std::move(value)));
+    }
+
+    std::shared_ptr<const V>
+    putShared(const K &key, std::shared_ptr<const V> value)
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            touch(it);
+            return it->second.value;
+        }
+        lru_.push_front(key);
+        map_.emplace(key, Entry{std::move(value), lru_.begin()});
+        evictOverflow();
+        return map_.find(key)->second.value;
+    }
+
+    /**
+     * Returns the entry for `key`, running `make()` to create it on a
+     * miss. The factory executes under the cache lock (see file
+     * comment); it must not reenter the cache.
+     */
+    template <typename F>
+    std::shared_ptr<const V>
+    getOrCreate(const K &key, F &&make)
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            ++stats_.hits;
+            touch(it);
+            return it->second.value;
+        }
+        ++stats_.misses;
+        auto value = std::make_shared<const V>(make());
+        lru_.push_front(key);
+        map_.emplace(key, Entry{value, lru_.begin()});
+        evictOverflow();
+        return value;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return map_.size();
+    }
+
+    size_t capacity() const { return capacity_; }
+
+    /** Changes the capacity, evicting LRU entries if now over. */
+    void
+    setCapacity(size_t capacity)
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        capacity_ = capacity;
+        evictOverflow();
+    }
+
+    CacheStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return stats_;
+    }
+
+    /** Drops all entries (outstanding shared_ptrs stay valid). */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        map_.clear();
+        lru_.clear();
+    }
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const V> value;
+        typename std::list<K>::iterator pos;
+    };
+    using Map = std::unordered_map<K, Entry, Hash>;
+
+    /** Moves the entry to the front of the recency list. */
+    void
+    touch(typename Map::iterator it)
+    {
+        lru_.splice(lru_.begin(), lru_, it->second.pos);
+    }
+
+    void
+    evictOverflow()
+    {
+        while (capacity_ != 0 && map_.size() > capacity_) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+            ++stats_.evictions;
+        }
+    }
+
+    mutable std::mutex m_;
+    size_t capacity_;
+    std::list<K> lru_; //!< front = most recently used
+    Map map_;
+    CacheStats stats_;
+};
+
+} // namespace f1
+
+#endif // F1_COMMON_LRU_CACHE_H

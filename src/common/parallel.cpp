@@ -237,6 +237,18 @@ setGlobalThreadCount(unsigned n)
     // last of them finishes its batch.
 }
 
+InlineParallelScope::InlineParallelScope() : prev_(t_inPool)
+{
+    // Reuses the pool's own nested-call mechanism: a thread flagged as
+    // in-pool always takes the inline path in ThreadPool::run.
+    t_inPool = true;
+}
+
+InlineParallelScope::~InlineParallelScope()
+{
+    t_inPool = prev_;
+}
+
 void
 parallelFor(size_t begin, size_t end,
             const std::function<void(size_t)> &body)

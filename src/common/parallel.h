@@ -108,6 +108,27 @@ void parallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)> &body);
 
 /**
+ * RAII guard that forces parallelFor calls issued from the current
+ * thread (and anything it calls) to run inline, in index order, for
+ * the guard's lifetime. The serving engine's throughput mode puts one
+ * guard on each job worker: with W workers each executing one job
+ * single-threaded, concurrency comes entirely from job-level
+ * parallelism and jobs never contend for the shared pool. Inline
+ * execution is the serial path, so outputs are unchanged.
+ */
+class InlineParallelScope
+{
+  public:
+    InlineParallelScope();
+    ~InlineParallelScope();
+    InlineParallelScope(const InlineParallelScope &) = delete;
+    InlineParallelScope &operator=(const InlineParallelScope &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/**
  * Per-limb dispatch over the residues of an RNS polynomial: body(limb)
  * for limb in [0, levels) — the software analogue of assigning residue
  * polynomials to F1's vector clusters.

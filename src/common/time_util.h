@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Shared wall-clock helper for the runtime and benches: milliseconds
+ * on the steady (monotonic) clock.
+ */
+#ifndef F1_COMMON_TIME_UTIL_H
+#define F1_COMMON_TIME_UTIL_H
+
+#include <chrono>
+
+namespace f1 {
+
+inline double
+steadyNowMs()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace f1
+
+#endif // F1_COMMON_TIME_UTIL_H

@@ -26,8 +26,8 @@ keySwitchNoiseBits(const FheContext *ctx, uint64_t t, size_t level)
 BgvScheme::BgvScheme(const FheContext *ctx, uint64_t t,
                      KeySwitchVariant variant, uint64_t seed)
     : ctx_(ctx), t_(t == 0 ? ctx->plainModulus() : t), variant_(variant),
-      encoder_(ctx, t_ == 0 ? ctx->plainModulus() : t_), switcher_(ctx),
-      rng_(seed), sk_(switcher_.keyGen(rng_)),
+      seed_(seed), encoder_(ctx, t_ == 0 ? ctx->plainModulus() : t_),
+      switcher_(ctx), rng_(seed), sk_(switcher_.keyGen(rng_)),
       sSquared_(sk_.s.mul(sk_.s))
 {
 }
@@ -37,15 +37,20 @@ BgvScheme::adoptKey(const SecretKey &sk)
 {
     sk_ = sk;
     sSquared_ = sk_.s.mul(sk_.s);
-    relinHints_.clear();
-    galoisHints_.clear();
+    hints_.clear();
 }
 
 Ciphertext
 BgvScheme::freshCiphertext(const RnsPoly &m, size_t level)
 {
-    RnsPoly c1 = RnsPoly::uniform(ctx_->polyContext(), level, rng_);
-    RnsPoly e = ctx_->sampleError(level, rng_);
+    return freshCiphertext(m, level, rng_);
+}
+
+Ciphertext
+BgvScheme::freshCiphertext(const RnsPoly &m, size_t level, Rng &rng)
+{
+    RnsPoly c1 = RnsPoly::uniform(ctx_->polyContext(), level, rng);
+    RnsPoly e = ctx_->sampleError(level, rng);
     e.mulScalar(t_);
     RnsPoly c0 = m + e;
     c0 -= c1.mul(sk_.s.restricted(level));
@@ -61,8 +66,15 @@ BgvScheme::freshCiphertext(const RnsPoly &m, size_t level)
 Ciphertext
 BgvScheme::encryptSlots(std::span<const uint64_t> slots, size_t level)
 {
+    return encryptSlots(slots, level, rng_);
+}
+
+Ciphertext
+BgvScheme::encryptSlots(std::span<const uint64_t> slots, size_t level,
+                        Rng &rng)
+{
     auto coeffs = encoder_.encodeSlots(slots);
-    return freshCiphertext(encoder_.toPoly(coeffs, level), level);
+    return freshCiphertext(encoder_.toPoly(coeffs, level), level, rng);
 }
 
 Ciphertext
@@ -218,33 +230,36 @@ BgvScheme::mulPlain(const Ciphertext &a,
     return out;
 }
 
+std::shared_ptr<const KeySwitchHint>
+BgvScheme::relinHintShared(size_t level)
+{
+    return hints_.getOrCreate(HintKey{0, level}, [&] {
+        Rng rng(hintSeed(seed_, 0, level));
+        return switcher_.makeHint(sSquared_, sk_, level, t_, variant_,
+                                  rng);
+    });
+}
+
+std::shared_ptr<const KeySwitchHint>
+BgvScheme::galoisHintShared(uint64_t g, size_t level)
+{
+    return hints_.getOrCreate(HintKey{g, level}, [&] {
+        Rng rng(hintSeed(seed_, g, level));
+        RnsPoly sg = sk_.s.automorphism(g);
+        return switcher_.makeHint(sg, sk_, level, t_, variant_, rng);
+    });
+}
+
 const KeySwitchHint &
 BgvScheme::relinHint(size_t level)
 {
-    auto it = relinHints_.find(level);
-    if (it == relinHints_.end()) {
-        it = relinHints_
-                 .emplace(level,
-                          switcher_.makeHint(sSquared_, sk_, level, t_,
-                                             variant_, rng_))
-                 .first;
-    }
-    return it->second;
+    return *relinHintShared(level);
 }
 
 const KeySwitchHint &
 BgvScheme::galoisHint(uint64_t g, size_t level)
 {
-    auto key = std::make_pair(g, level);
-    auto it = galoisHints_.find(key);
-    if (it == galoisHints_.end()) {
-        RnsPoly sg = sk_.s.automorphism(g);
-        it = galoisHints_
-                 .emplace(key, switcher_.makeHint(sg, sk_, level, t_,
-                                                  variant_, rng_))
-                 .first;
-    }
-    return it->second;
+    return *galoisHintShared(g, level);
 }
 
 Ciphertext
@@ -261,7 +276,9 @@ BgvScheme::mul(const Ciphertext &a, const Ciphertext &b)
     l1 += a.polys[1].mul(b.polys[0]);
     RnsPoly l2 = a.polys[1].mul(b.polys[1]);
 
-    auto [u0, u1] = switcher_.apply(l2, relinHint(level), t_);
+    // Pin the hint so a capped cache evicting it mid-apply is safe.
+    auto hint = relinHintShared(level);
+    auto [u0, u1] = switcher_.apply(l2, *hint, t_);
 
     Ciphertext out;
     out.polys.push_back(l0 + u0);
@@ -283,7 +300,8 @@ BgvScheme::applyGalois(const Ciphertext &a, uint64_t g)
     RnsPoly c0 = a.polys[0].automorphism(g);
     RnsPoly c1 = a.polys[1].automorphism(g);
 
-    auto [u0, u1] = switcher_.apply(c1, galoisHint(g, level), t_);
+    auto hint = galoisHintShared(g, level);
+    auto [u0, u1] = switcher_.apply(c1, *hint, t_);
 
     Ciphertext out;
     out.polys.push_back(c0 + u0);

@@ -7,6 +7,14 @@
  * Decryption invariant: c0 + c1*s = m + t*e (mod Q_level), with m the
  * centered encoded plaintext and |m + t*e| < Q/2 required for correct
  * decryption. noiseBits tracks log2|m + t*e| conservatively.
+ *
+ * Thread safety: after construction, homomorphic operations
+ * (add/sub/mul/rotate/...) on distinct ciphertexts may run
+ * concurrently — the hint cache is internally synchronized and hint
+ * randomness is derived per identity (see hintSeed), so results do
+ * not depend on which thread generates a hint first. The encryption
+ * paths that draw from the scheme's internal PRNG are NOT thread-safe;
+ * concurrent encryptors must use the overloads taking an explicit Rng.
  */
 #ifndef F1_FHE_BGV_H
 #define F1_FHE_BGV_H
@@ -52,6 +60,15 @@ class BgvScheme
     /** Encrypts slot values (rotation order; requires slot support). */
     Ciphertext encryptSlots(std::span<const uint64_t> slots,
                             size_t level);
+
+    /**
+     * As encryptSlots, but drawing encryption randomness from `rng`
+     * instead of the scheme's internal stream. Safe to call
+     * concurrently with distinct Rngs; the serving runtime uses one
+     * per job so ciphertext bits are a function of the job alone.
+     */
+    Ciphertext encryptSlots(std::span<const uint64_t> slots,
+                            size_t level, Rng &rng);
 
     /** Encrypts values placed directly in coefficients. */
     Ciphertext encryptCoeffs(std::span<const uint64_t> values,
@@ -107,22 +124,41 @@ class BgvScheme
     // accounts for hint loads).
     //
 
+    /**
+     * Reference accessors. The reference is owned by the hint cache
+     * and stays valid only while the entry is cached — with the
+     * default unbounded capacity, forever. Callers that cap the cache
+     * must use the shared accessors instead.
+     */
     const KeySwitchHint &relinHint(size_t level);
     const KeySwitchHint &galoisHint(uint64_t g, size_t level);
 
+    /** Pinning accessors: safe under concurrent eviction. */
+    std::shared_ptr<const KeySwitchHint> relinHintShared(size_t level);
+    std::shared_ptr<const KeySwitchHint> galoisHintShared(uint64_t g,
+                                                          size_t level);
+
+    /** Hit/miss/eviction counters of the hint cache. */
+    CacheStats hintCacheStats() const { return hints_.stats(); }
+
+    /** Caps the hint cache (0 = unbounded, the default). */
+    void setHintCacheCapacity(size_t cap) { hints_.setCapacity(cap); }
+
   private:
     Ciphertext freshCiphertext(const RnsPoly &m, size_t level);
+    Ciphertext freshCiphertext(const RnsPoly &m, size_t level,
+                               Rng &rng);
 
     const FheContext *ctx_;
     uint64_t t_;
     KeySwitchVariant variant_;
+    uint64_t seed_; //!< root of the per-hint randomness derivation
     BgvEncoder encoder_;
     KeySwitcher switcher_;
     mutable Rng rng_;
     SecretKey sk_;
     RnsPoly sSquared_; //!< s^2 over the full chain (relin source key)
-    std::map<size_t, KeySwitchHint> relinHints_;
-    std::map<std::pair<uint64_t, size_t>, KeySwitchHint> galoisHints_;
+    HintCache hints_;
 };
 
 } // namespace f1

@@ -8,8 +8,8 @@ namespace f1 {
 
 CkksScheme::CkksScheme(const FheContext *ctx, KeySwitchVariant variant,
                        uint64_t seed)
-    : ctx_(ctx), variant_(variant), encoder_(ctx), switcher_(ctx),
-      rng_(seed), sk_(switcher_.keyGen(rng_)),
+    : ctx_(ctx), variant_(variant), seed_(seed), encoder_(ctx),
+      switcher_(ctx), rng_(seed), sk_(switcher_.keyGen(rng_)),
       sSquared_(sk_.s.mul(sk_.s))
 {
 }
@@ -19,16 +19,21 @@ CkksScheme::adoptKey(const SecretKey &sk)
 {
     sk_ = sk;
     sSquared_ = sk_.s.mul(sk_.s);
-    relinHints_.clear();
-    galoisHints_.clear();
+    hints_.clear();
 }
 
 Ciphertext
 CkksScheme::freshCiphertext(const RnsPoly &m, double scale)
 {
+    return freshCiphertext(m, scale, rng_);
+}
+
+Ciphertext
+CkksScheme::freshCiphertext(const RnsPoly &m, double scale, Rng &rng)
+{
     const size_t level = m.levels();
-    RnsPoly c1 = RnsPoly::uniform(ctx_->polyContext(), level, rng_);
-    RnsPoly c0 = m + ctx_->sampleError(level, rng_);
+    RnsPoly c1 = RnsPoly::uniform(ctx_->polyContext(), level, rng);
+    RnsPoly c0 = m + ctx_->sampleError(level, rng);
     c0 -= c1.mul(sk_.s.restricted(level));
 
     Ciphertext ct;
@@ -43,8 +48,15 @@ Ciphertext
 CkksScheme::encrypt(std::span<const std::complex<double>> slots,
                     size_t level)
 {
-    return freshCiphertext(
-        encoder_.encode(slots, defaultScale(), level), defaultScale());
+    return encrypt(slots, level, rng_);
+}
+
+Ciphertext
+CkksScheme::encrypt(std::span<const std::complex<double>> slots,
+                    size_t level, Rng &rng)
+{
+    return freshCiphertext(encoder_.encode(slots, defaultScale(), level),
+                           defaultScale(), rng);
 }
 
 Ciphertext
@@ -102,32 +114,36 @@ CkksScheme::sub(const Ciphertext &a, const Ciphertext &b) const
     return out;
 }
 
+std::shared_ptr<const KeySwitchHint>
+CkksScheme::relinHintShared(size_t level)
+{
+    return hints_.getOrCreate(HintKey{0, level}, [&] {
+        Rng rng(hintSeed(seed_, 0, level));
+        return switcher_.makeHint(sSquared_, sk_, level, 1, variant_,
+                                  rng);
+    });
+}
+
+std::shared_ptr<const KeySwitchHint>
+CkksScheme::galoisHintShared(uint64_t g, size_t level)
+{
+    return hints_.getOrCreate(HintKey{g, level}, [&] {
+        Rng rng(hintSeed(seed_, g, level));
+        RnsPoly sg = sk_.s.automorphism(g);
+        return switcher_.makeHint(sg, sk_, level, 1, variant_, rng);
+    });
+}
+
 const KeySwitchHint &
 CkksScheme::relinHint(size_t level)
 {
-    auto it = relinHints_.find(level);
-    if (it == relinHints_.end()) {
-        it = relinHints_
-                 .emplace(level, switcher_.makeHint(sSquared_, sk_, level,
-                                                    1, variant_, rng_))
-                 .first;
-    }
-    return it->second;
+    return *relinHintShared(level);
 }
 
 const KeySwitchHint &
 CkksScheme::galoisHint(uint64_t g, size_t level)
 {
-    auto key = std::make_pair(g, level);
-    auto it = galoisHints_.find(key);
-    if (it == galoisHints_.end()) {
-        RnsPoly sg = sk_.s.automorphism(g);
-        it = galoisHints_
-                 .emplace(key, switcher_.makeHint(sg, sk_, level, 1,
-                                                  variant_, rng_))
-                 .first;
-    }
-    return it->second;
+    return *galoisHintShared(g, level);
 }
 
 Ciphertext
@@ -141,7 +157,8 @@ CkksScheme::mul(const Ciphertext &a, const Ciphertext &b)
     l1 += a.polys[1].mul(b.polys[0]);
     RnsPoly l2 = a.polys[1].mul(b.polys[1]);
 
-    auto [u0, u1] = switcher_.apply(l2, relinHint(level), 1);
+    auto hint = relinHintShared(level);
+    auto [u0, u1] = switcher_.apply(l2, *hint, 1);
 
     Ciphertext out;
     out.polys.push_back(l0 + u0);
@@ -254,7 +271,8 @@ CkksScheme::applyGalois(const Ciphertext &a, uint64_t g)
     const size_t level = a.level();
     RnsPoly c0 = a.polys[0].automorphism(g);
     RnsPoly c1 = a.polys[1].automorphism(g);
-    auto [u0, u1] = switcher_.apply(c1, galoisHint(g, level), 1);
+    auto hint = galoisHintShared(g, level);
+    auto [u0, u1] = switcher_.apply(c1, *hint, 1);
 
     Ciphertext out;
     out.polys.push_back(c0 + u0);

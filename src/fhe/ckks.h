@@ -4,13 +4,18 @@
  * on N/2 complex slots with explicit rescaling. Shares the ciphertext
  * layout and key-switching machinery with BGV; errors enter unscaled
  * (errorScale = 1) and accuracy is managed through the scale Δ.
+ *
+ * Thread safety matches BgvScheme: homomorphic operations on distinct
+ * ciphertexts may run concurrently (synchronized hint cache with
+ * order-independent hint randomness); concurrent encryptors must use
+ * the overload taking an explicit Rng.
  */
 #ifndef F1_FHE_CKKS_H
 #define F1_FHE_CKKS_H
 
 #include <complex>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <vector>
 
 #include "fhe/ciphertext.h"
@@ -38,6 +43,11 @@ class CkksScheme
     /** Encrypts N/2 complex slots at the default scale. */
     Ciphertext encrypt(std::span<const std::complex<double>> slots,
                        size_t level);
+
+    /** As encrypt, drawing encryption randomness from `rng` (the
+     *  thread-safe path; one Rng per concurrent job). */
+    Ciphertext encrypt(std::span<const std::complex<double>> slots,
+                       size_t level, Rng &rng);
 
     /** Encrypts real slot values (convenience). */
     Ciphertext encryptReal(std::span<const double> slots, size_t level);
@@ -102,21 +112,32 @@ class CkksScheme
     /** Applies σ_g for a raw Galois element (trace computations). */
     Ciphertext applyGalois(const Ciphertext &a, uint64_t g);
 
+    /** See BgvScheme::relinHint for the reference-lifetime caveat. */
     const KeySwitchHint &relinHint(size_t level);
     const KeySwitchHint &galoisHint(uint64_t g, size_t level);
 
+    /** Pinning accessors: safe under concurrent eviction. */
+    std::shared_ptr<const KeySwitchHint> relinHintShared(size_t level);
+    std::shared_ptr<const KeySwitchHint> galoisHintShared(uint64_t g,
+                                                          size_t level);
+
+    CacheStats hintCacheStats() const { return hints_.stats(); }
+    void setHintCacheCapacity(size_t cap) { hints_.setCapacity(cap); }
+
   private:
     Ciphertext freshCiphertext(const RnsPoly &m, double scale);
+    Ciphertext freshCiphertext(const RnsPoly &m, double scale,
+                               Rng &rng);
 
     const FheContext *ctx_;
     KeySwitchVariant variant_;
+    uint64_t seed_;
     CkksEncoder encoder_;
     KeySwitcher switcher_;
     mutable Rng rng_;
     SecretKey sk_;
     RnsPoly sSquared_;
-    std::map<size_t, KeySwitchHint> relinHints_;
-    std::map<std::pair<uint64_t, size_t>, KeySwitchHint> galoisHints_;
+    HintCache hints_;
 };
 
 } // namespace f1

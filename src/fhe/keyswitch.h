@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
+#include "common/lru_cache.h"
 #include "fhe/fhe_context.h"
 #include "poly/rns_poly.h"
 
@@ -58,6 +60,52 @@ struct KeySwitchHint
     /** Size in bytes at degree n. */
     size_t sizeBytes(uint32_t n) const { return sizeRVecs() * n * 4; }
 };
+
+/**
+ * Identity of a cached key-switch hint: the Galois element (0 for the
+ * relinearization hint — Galois elements are odd, so 0 is free) and
+ * the ciphertext level it serves.
+ */
+struct HintKey
+{
+    uint64_t galois = 0;
+    uint64_t level = 0;
+    bool operator==(const HintKey &) const = default;
+};
+
+struct HintKeyHash
+{
+    size_t
+    operator()(const HintKey &k) const
+    {
+        return static_cast<size_t>(
+            hashCombine(hashMix(k.galois), k.level));
+    }
+};
+
+/**
+ * Thread-safe cache of generated hints, shared by every consumer of a
+ * scheme instance (reference executor, serving engine, benches).
+ * Unbounded by default; the serving layer may cap it, in which case
+ * entries are pinned by the shared_ptr accessors while in use.
+ */
+using HintCache = LruCache<HintKey, KeySwitchHint, HintKeyHash>;
+
+/**
+ * Deterministic seed for the randomness of the hint identified by
+ * (galois, level) under a scheme seeded with `schemeSeed`. Deriving
+ * the stream from the identity — instead of drawing from the scheme's
+ * sequential PRNG — makes hint bits independent of the order in which
+ * concurrent jobs first request them, which the runtime's run-to-run
+ * determinism contract relies on.
+ */
+inline uint64_t
+hintSeed(uint64_t schemeSeed, uint64_t galois, uint64_t level)
+{
+    return hashCombine(
+        hashCombine(hashCombine(schemeSeed, 0x6b73776869ULL), galois),
+        level);
+}
 
 class KeySwitcher
 {

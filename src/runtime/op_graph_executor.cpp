@@ -1,0 +1,377 @@
+#include "runtime/op_graph_executor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/time_util.h"
+
+namespace f1 {
+
+namespace {
+
+/**
+ * Ciphertext operands of an op, written to out[0..1] (-1 = none).
+ * kAddPlain/kMulPlain's b names a plaintext handle, not a ciphertext
+ * edge; kInput/kInputPlain are sources.
+ */
+void
+ctOperands(const HeOp &op, int out[2])
+{
+    out[0] = out[1] = -1;
+    switch (op.kind) {
+      case HeOpKind::kInput:
+      case HeOpKind::kInputPlain:
+        break;
+      case HeOpKind::kAdd:
+      case HeOpKind::kSub:
+      case HeOpKind::kMul:
+        out[0] = op.a;
+        out[1] = op.b;
+        break;
+      case HeOpKind::kAddPlain:
+      case HeOpKind::kMulPlain:
+      case HeOpKind::kRotate:
+      case HeOpKind::kConjugate:
+      case HeOpKind::kModSwitch:
+      case HeOpKind::kOutput:
+        out[0] = op.a;
+        break;
+    }
+}
+
+bool
+producesCiphertext(const HeOp &op)
+{
+    return op.kind != HeOpKind::kOutput &&
+           op.kind != HeOpKind::kInputPlain;
+}
+
+} // namespace
+
+struct OpGraphExecutor::RunState
+{
+    std::vector<std::optional<Ciphertext>> cts;
+    std::vector<std::shared_ptr<const std::vector<int64_t>>> bgvPts;
+    std::vector<std::vector<std::complex<double>>> ckksPts;
+    std::vector<std::optional<Ciphertext>> outs;
+    std::vector<int> indeg;
+    std::vector<int> uses;
+    size_t resident = 0;
+    ExecutionResult result;
+
+    void
+    release(int h)
+    {
+        cts[h].reset();
+        --resident;
+    }
+};
+
+OpGraphExecutor::OpGraphExecutor(const Program &prog, BgvScheme *bgv)
+    : prog_(prog), bgv_(bgv)
+{
+    buildGraph();
+}
+
+OpGraphExecutor::OpGraphExecutor(const Program &prog, CkksScheme *ckks)
+    : prog_(prog), ckks_(ckks)
+{
+    buildGraph();
+}
+
+void
+OpGraphExecutor::buildGraph()
+{
+    const auto &ops = prog_.ops();
+    const size_t n = ops.size();
+    dependents_.assign(n, {});
+    indegree_.assign(n, 0);
+    consumers_.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        int deps[2];
+        ctOperands(ops[i], deps);
+        for (int d : deps) {
+            if (d < 0)
+                continue;
+            F1_REQUIRE(static_cast<size_t>(d) < i,
+                       "op " << i << " references future handle " << d);
+            dependents_[d].push_back(static_cast<int>(i));
+            ++indegree_[i];
+            ++consumers_[d];
+        }
+    }
+}
+
+void
+OpGraphExecutor::prepare(const RuntimeInputs &in, RunState &st) const
+{
+    const auto &ops = prog_.ops();
+    const uint32_t n = prog_.n();
+
+    // Hint warming, in program order. Hint bits are order-independent
+    // (hintSeed), so this is a latency optimization, not a correctness
+    // requirement: it keeps key generation out of the timed region,
+    // matching the old executor's "client-side work excluded" stance.
+    for (const HeOp &op : ops) {
+        if (op.kind == HeOpKind::kMul) {
+            if (bgv_)
+                bgv_->relinHintShared(op.level);
+            else
+                ckks_->relinHintShared(op.level);
+        } else if (op.kind == HeOpKind::kRotate ||
+                   op.kind == HeOpKind::kConjugate) {
+            const auto &order = bgv_ ? bgv_->encoder().slotOrder()
+                                     : ckks_->encoder().slotOrder();
+            const uint64_t g = op.kind == HeOpKind::kRotate
+                                   ? order.rotationGalois(op.rotateBy)
+                                   : order.conjugationGalois();
+            if (bgv_)
+                bgv_->galoisHintShared(g, op.level);
+            else
+                ckks_->galoisHintShared(g, op.level);
+        }
+    }
+
+    // Inputs: encryption and encoding run serially in program order
+    // with a per-run Rng, so the prepared state is a pure function of
+    // (program, inputs, seed) — independent of concurrent jobs.
+    Rng rng(in.seed);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const HeOp &op = ops[i];
+        const int h = static_cast<int>(i);
+        if (op.kind == HeOpKind::kInput) {
+            if (bgv_) {
+                auto it = in.bgvSlots.find(h);
+                std::vector<uint64_t> slots =
+                    it != in.bgvSlots.end()
+                        ? it->second
+                        : rng.uniformVector(n, bgv_->plainModulus());
+                st.cts[h] = bgv_->encryptSlots(slots, op.level, rng);
+            } else {
+                auto it = in.ckksSlots.find(h);
+                std::vector<std::complex<double>> slots(n / 2);
+                if (it != in.ckksSlots.end()) {
+                    slots = it->second;
+                } else {
+                    for (auto &s : slots)
+                        s = {rng.uniformReal(-1, 1), 0.0};
+                }
+                st.cts[h] = ckks_->encrypt(slots, op.level, rng);
+            }
+            ++st.resident;
+        } else if (op.kind == HeOpKind::kInputPlain) {
+            if (bgv_) {
+                auto it = in.bgvPlainSlots.find(h);
+                std::vector<uint64_t> slots =
+                    it != in.bgvPlainSlots.end()
+                        ? it->second
+                        : rng.uniformVector(n, bgv_->plainModulus());
+                st.bgvPts[h] = encodeBgvPlain(slots, st);
+            } else {
+                auto it = in.ckksPlainSlots.find(h);
+                std::vector<std::complex<double>> slots(n / 2);
+                if (it != in.ckksPlainSlots.end()) {
+                    slots = it->second;
+                } else {
+                    for (auto &s : slots)
+                        s = {rng.uniformReal(-1, 1), 0.0};
+                }
+                st.ckksPts[h] = std::move(slots);
+            }
+        }
+    }
+    st.result.peakResidentCiphertexts = st.resident;
+}
+
+std::shared_ptr<const std::vector<int64_t>>
+OpGraphExecutor::encodeBgvPlain(std::span<const uint64_t> slots,
+                                RunState &st) const
+{
+    if (!encCache_) {
+        return std::make_shared<const std::vector<int64_t>>(
+            bgv_->encoder().encodeSlots(slots));
+    }
+    EncodingKey key;
+    key.paramsFp =
+        hashCombine(hashCombine(hashMix(0xe4c0de), prog_.n()),
+                    bgv_->plainModulus());
+    key.dataHash = hashU64Span(slots);
+    if (auto hit = encCache_->get(key)) {
+        ++st.result.encodingCacheHits;
+        return hit;
+    }
+    ++st.result.encodingCacheMisses;
+    // A concurrent job may race the same miss; put() keeps the first
+    // value, and both values are identical (encoding is pure).
+    return encCache_->put(key, bgv_->encoder().encodeSlots(slots));
+}
+
+void
+OpGraphExecutor::executeOp(int h, RunState &st) const
+{
+    const HeOp &op = prog_.ops()[h];
+    auto ct = [&](int idx) -> const Ciphertext & {
+        F1_CHECK(st.cts[idx].has_value(),
+                 "operand " << idx << " not resident for op " << h);
+        return *st.cts[idx];
+    };
+    switch (op.kind) {
+      case HeOpKind::kInput:
+      case HeOpKind::kInputPlain:
+        break; // materialized by prepare()
+      case HeOpKind::kAdd:
+        st.cts[h] = bgv_ ? bgv_->add(ct(op.a), ct(op.b))
+                         : ckks_->add(ct(op.a), ct(op.b));
+        break;
+      case HeOpKind::kSub:
+        st.cts[h] = bgv_ ? bgv_->sub(ct(op.a), ct(op.b))
+                         : ckks_->sub(ct(op.a), ct(op.b));
+        break;
+      case HeOpKind::kAddPlain:
+        st.cts[h] = bgv_ ? bgv_->addPlain(ct(op.a), *st.bgvPts[op.b])
+                         : ckks_->addPlain(ct(op.a), st.ckksPts[op.b]);
+        break;
+      case HeOpKind::kMulPlain:
+        st.cts[h] = bgv_ ? bgv_->mulPlain(ct(op.a), *st.bgvPts[op.b])
+                         : ckks_->mulPlain(ct(op.a), st.ckksPts[op.b]);
+        break;
+      case HeOpKind::kMul:
+        st.cts[h] = bgv_ ? bgv_->mul(ct(op.a), ct(op.b))
+                         : ckks_->mul(ct(op.a), ct(op.b));
+        break;
+      case HeOpKind::kRotate:
+        st.cts[h] = bgv_ ? bgv_->rotate(ct(op.a), op.rotateBy)
+                         : ckks_->rotate(ct(op.a), op.rotateBy);
+        break;
+      case HeOpKind::kConjugate:
+        st.cts[h] = bgv_ ? bgv_->conjugate(ct(op.a))
+                         : ckks_->conjugate(ct(op.a));
+        break;
+      case HeOpKind::kModSwitch:
+        st.cts[h] = bgv_ ? bgv_->modSwitch(ct(op.a))
+                         : ckks_->rescale(ct(op.a));
+        break;
+      case HeOpKind::kOutput:
+        st.outs[h] = ct(op.a);
+        break;
+    }
+}
+
+/**
+ * Post-completion bookkeeping for op `h`: unlocks dependents whose
+ * operands are now all computed (appended to readyOut) and releases
+ * any ciphertext that `h` consumed for the last time. Runs on the
+ * coordinating thread between wavefronts, so releases never race
+ * against in-flight readers.
+ */
+void
+OpGraphExecutor::retireOp(int h, RunState &st,
+                          std::vector<int> &readyOut) const
+{
+    for (int dep : dependents_[h]) {
+        if (--st.indeg[dep] == 0)
+            readyOut.push_back(dep);
+    }
+    int deps[2];
+    ctOperands(prog_.ops()[h], deps);
+    for (int d : deps) {
+        if (d >= 0 && --st.uses[d] == 0)
+            st.release(d);
+    }
+    // A result nothing consumes (dead code) is dropped immediately.
+    if (producesCiphertext(prog_.ops()[h]) && st.uses[h] == 0)
+        st.release(h);
+}
+
+ExecutionResult
+OpGraphExecutor::run(const RuntimeInputs &in) const
+{
+    const auto &ops = prog_.ops();
+    const size_t n = ops.size();
+
+    RunState st;
+    st.cts.resize(n);
+    st.outs.resize(n);
+    st.bgvPts.resize(n);
+    st.ckksPts.resize(n);
+    st.indeg = indegree_;
+    st.uses = consumers_;
+
+    prepare(in, st);
+
+    auto bumpPeak = [&st] {
+        st.result.peakResidentCiphertexts =
+            std::max(st.result.peakResidentCiphertexts, st.resident);
+    };
+
+    const double t0 = steadyNowMs();
+    if (mode_ == DispatchMode::kSerial) {
+        std::vector<int> ignored;
+        for (size_t i = 0; i < n; ++i) {
+            const HeOp &op = ops[i];
+            if (op.kind == HeOpKind::kInput ||
+                op.kind == HeOpKind::kInputPlain)
+                continue;
+            const int h = static_cast<int>(i);
+            executeOp(h, st);
+            if (producesCiphertext(op))
+                ++st.resident;
+            bumpPeak();
+            retireOp(h, st, ignored);
+            ++st.result.wavefronts;
+            st.result.maxWavefrontWidth = 1;
+        }
+    } else {
+        // Seed the first wavefront by propagating input completions.
+        std::vector<int> ready;
+        for (size_t i = 0; i < n; ++i) {
+            if (ops[i].kind != HeOpKind::kInput &&
+                ops[i].kind != HeOpKind::kInputPlain)
+                continue;
+            for (int dep : dependents_[i]) {
+                if (--st.indeg[dep] == 0)
+                    ready.push_back(dep);
+            }
+        }
+        std::sort(ready.begin(), ready.end());
+
+        std::vector<int> next;
+        while (!ready.empty()) {
+            ++st.result.wavefronts;
+            st.result.maxWavefrontWidth =
+                std::max(st.result.maxWavefrontWidth, ready.size());
+            if (ready.size() == 1) {
+                executeOp(ready[0], st);
+            } else {
+                parallelFor(0, ready.size(), [&](size_t i) {
+                    executeOp(ready[i], st);
+                });
+            }
+            for (int h : ready) {
+                if (producesCiphertext(ops[h]))
+                    ++st.resident;
+            }
+            bumpPeak();
+            next.clear();
+            for (int h : ready)
+                retireOp(h, st, next);
+            // Ascending handles keep the within-wavefront claim order
+            // deterministic under F1_THREADS=1 (inline index order).
+            std::sort(next.begin(), next.end());
+            ready.swap(next);
+        }
+    }
+    st.result.wallMs = steadyNowMs() - t0;
+
+    for (size_t i = 0; i < n; ++i) {
+        if (ops[i].kind == HeOpKind::kOutput)
+            st.result.outputs[static_cast<int>(i)] =
+                std::move(*st.outs[i]);
+    }
+    return st.result;
+}
+
+} // namespace f1

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * DAG-parallel execution of DSL programs — the runtime layer between
+ * the functional FHE simulator and the serving engine.
+ *
+ * F1 exploits parallelism below the program (limbs, lanes); this
+ * executor adds the level above it: each HeOp's ciphertext operands
+ * define a dependency DAG over the Program's op list, and ready
+ * wavefronts (ops whose operands are all computed) execute
+ * concurrently on the shared thread pool. Per-op FHE kernels called
+ * from a pool worker take the pool's inline path, so the two levels
+ * compose without nesting deadlocks: wide wavefronts parallelize
+ * across ops, narrow ones fall through to per-limb parallelism.
+ *
+ * Determinism contract: every homomorphic op is a pure function of
+ * its operands (hint randomness is derived per identity — see
+ * hintSeed — and encryption randomness comes from a per-run Rng
+ * consumed in program order during the serial prepare phase), so
+ * outputs are bit-identical for any dispatch mode, thread count, and
+ * concurrent-job interleaving. tests/test_runtime.cpp asserts this.
+ *
+ * Liveness: the executor counts the consumers of every ciphertext
+ * handle and releases each ciphertext after its last consumer
+ * completes, instead of holding every intermediate until the program
+ * ends. ExecutionResult::peakResidentCiphertexts reports the
+ * high-water mark.
+ */
+#ifndef F1_RUNTIME_OP_GRAPH_EXECUTOR_H
+#define F1_RUNTIME_OP_GRAPH_EXECUTOR_H
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "compiler/program.h"
+#include "fhe/bgv.h"
+#include "fhe/ckks.h"
+
+namespace f1 {
+
+/** How the executor walks the op graph. */
+enum class DispatchMode {
+    kSerial,    //!< exact program order, one op at a time
+    kWavefront, //!< topological wavefronts across the thread pool
+};
+
+/**
+ * Per-run inputs, keyed by DSL handle. Handles without supplied data
+ * get deterministic pseudo-random values drawn from `seed`; `seed`
+ * also drives encryption randomness, so a run's ciphertext bits are a
+ * function of (program, inputs, seed) alone.
+ */
+struct RuntimeInputs
+{
+    std::map<int, std::vector<uint64_t>> bgvSlots;
+    std::map<int, std::vector<uint64_t>> bgvPlainSlots;
+    std::map<int, std::vector<std::complex<double>>> ckksSlots;
+    std::map<int, std::vector<std::complex<double>>> ckksPlainSlots;
+    uint64_t seed = 0xdada;
+};
+
+struct ExecutionResult
+{
+    double wallMs = 0; //!< timed execute phase (prepare excluded)
+    std::map<int, Ciphertext> outputs; //!< by DSL handle
+
+    /** High-water mark of simultaneously live ciphertexts (inputs and
+     *  intermediates; outputs are copied out and not counted). */
+    size_t peakResidentCiphertexts = 0;
+
+    size_t wavefronts = 0;        //!< dispatch rounds executed
+    size_t maxWavefrontWidth = 0; //!< widest concurrent op set
+
+    /** Plaintext-encoding cache traffic attributable to this run. */
+    uint64_t encodingCacheHits = 0;
+    uint64_t encodingCacheMisses = 0;
+};
+
+/**
+ * Content-addressed key for cached plaintext encodings: scheme/param
+ * fingerprint plus a hash of the slot data. Content addressing (rather
+ * than (program, handle) addressing) keeps the cache correct across
+ * tenants that reuse a program shape with different constants.
+ */
+struct EncodingKey
+{
+    uint64_t paramsFp = 0;
+    uint64_t dataHash = 0;
+    bool operator==(const EncodingKey &) const = default;
+};
+
+struct EncodingKeyHash
+{
+    size_t
+    operator()(const EncodingKey &k) const
+    {
+        return static_cast<size_t>(k.paramsFp ^ k.dataHash);
+    }
+};
+
+/** Shared cache of BGV slot encodings (the serving engine owns one). */
+using EncodingCache =
+    LruCache<EncodingKey, std::vector<int64_t>, EncodingKeyHash>;
+
+/**
+ * Executes one Program against a scheme backend. The graph analysis
+ * (dependents, in-degrees, consumer counts) happens once at
+ * construction; run() is re-entrant and holds all per-run state on
+ * the stack, so distinct jobs over the same program may share one
+ * executor or build their own — both are safe concurrently.
+ */
+class OpGraphExecutor
+{
+  public:
+    OpGraphExecutor(const Program &prog, BgvScheme *bgv);
+    OpGraphExecutor(const Program &prog, CkksScheme *ckks);
+
+    void setDispatchMode(DispatchMode mode) { mode_ = mode; }
+    DispatchMode dispatchMode() const { return mode_; }
+
+    /** Optional shared encoding cache (nullptr = encode per run). */
+    void setEncodingCache(EncodingCache *cache) { encCache_ = cache; }
+
+    ExecutionResult run(const RuntimeInputs &in = {}) const;
+
+  private:
+    struct RunState;
+
+    void buildGraph();
+    void prepare(const RuntimeInputs &in, RunState &st) const;
+    std::shared_ptr<const std::vector<int64_t>>
+    encodeBgvPlain(std::span<const uint64_t> slots, RunState &st) const;
+    void executeOp(int h, RunState &st) const;
+    void retireOp(int h, RunState &st,
+                  std::vector<int> &readyOut) const;
+
+    const Program &prog_;
+    BgvScheme *bgv_ = nullptr;
+    CkksScheme *ckks_ = nullptr;
+    DispatchMode mode_ = DispatchMode::kWavefront;
+    EncodingCache *encCache_ = nullptr;
+
+    // Graph structure, fixed per program.
+    std::vector<std::vector<int>> dependents_; //!< ct-edge successors
+    std::vector<int> indegree_;  //!< ct-operand count per op
+    std::vector<int> consumers_; //!< ct uses of each op's result
+};
+
+} // namespace f1
+
+#endif // F1_RUNTIME_OP_GRAPH_EXECUTOR_H

@@ -1,0 +1,179 @@
+#include "runtime/serving.h"
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/time_util.h"
+
+namespace f1 {
+
+ServingEngine::ServingEngine(BgvScheme *bgv, ServingConfig cfg)
+    : bgv_(bgv), cfg_(cfg), encCache_(cfg.encodingCacheCapacity)
+{
+    start();
+}
+
+ServingEngine::ServingEngine(CkksScheme *ckks, ServingConfig cfg)
+    : ckks_(ckks), cfg_(cfg), encCache_(cfg.encodingCacheCapacity)
+{
+    start();
+}
+
+void
+ServingEngine::start()
+{
+    const unsigned n =
+        cfg_.workers == 0 ? configuredThreadCount() : cfg_.workers;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ServingEngine::~ServingEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        accepting_ = false;
+    }
+    drain(); // every accepted promise is fulfilled before teardown
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    cvWork_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+std::future<JobResult>
+ServingEngine::submit(JobRequest req)
+{
+    F1_REQUIRE(req.program != nullptr, "job without a program");
+    std::future<JobResult> fut;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        F1_REQUIRE(accepting_, "engine is shutting down");
+        Job job;
+        job.id = nextJobId_++;
+        job.req = std::move(req);
+        job.submitMs = steadyNowMs();
+        fut = job.promise.get_future();
+
+        auto [it, inserted] =
+            queues_.try_emplace(job.req.tenant);
+        if (inserted)
+            tenantOrder_.push_back(job.req.tenant);
+        it->second.push_back(std::move(job));
+        ++pending_;
+        ++stats_.submitted;
+        stats_.peakQueueDepth =
+            std::max(stats_.peakQueueDepth, pending_);
+    }
+    cvWork_.notify_one();
+    return fut;
+}
+
+bool
+ServingEngine::popJob(Job &out)
+{
+    // Called with m_ held. Scans tenants round-robin from the cursor;
+    // the cursor advances past the tenant served, so a tenant with a
+    // deep queue yields to every other tenant between its jobs.
+    const size_t n = tenantOrder_.size();
+    for (size_t k = 0; k < n; ++k) {
+        const size_t idx = (rrCursor_ + k) % n;
+        auto &q = queues_[tenantOrder_[idx]];
+        if (q.empty())
+            continue;
+        out = std::move(q.front());
+        q.pop_front();
+        rrCursor_ = (idx + 1) % n;
+        return true;
+    }
+    return false;
+}
+
+JobResult
+ServingEngine::runJob(Job &job)
+{
+    JobResult res;
+    res.jobId = job.id;
+    res.tenant = job.req.tenant;
+    const double startMs = steadyNowMs();
+    res.queueMs = startMs - job.submitMs;
+
+    OpGraphExecutor exec =
+        bgv_ ? OpGraphExecutor(*job.req.program, bgv_)
+             : OpGraphExecutor(*job.req.program, ckks_);
+    exec.setDispatchMode(cfg_.dispatch);
+    exec.setEncodingCache(&encCache_);
+    res.exec = exec.run(job.req.inputs);
+    res.serviceMs = steadyNowMs() - startMs;
+    return res;
+}
+
+void
+ServingEngine::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            cvWork_.wait(lock, [&] { return stop_ || pending_ > 0; });
+            if (stop_ && pending_ == 0)
+                return;
+            if (!popJob(job))
+                continue;
+            --pending_;
+            ++inFlight_;
+        }
+
+        bool failed = false;
+        JobResult res;
+        try {
+            if (cfg_.inlineIntraOp) {
+                InlineParallelScope inlineScope;
+                res = runJob(job);
+            } else {
+                res = runJob(job);
+            }
+        } catch (...) {
+            failed = true;
+            job.promise.set_exception(std::current_exception());
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            if (failed) {
+                ++stats_.failed;
+            } else {
+                ++stats_.completed;
+                ++stats_.completedPerTenant[res.tenant];
+                stats_.encodingCacheHits += res.exec.encodingCacheHits;
+                stats_.encodingCacheMisses +=
+                    res.exec.encodingCacheMisses;
+            }
+            --inFlight_;
+            if (pending_ == 0 && inFlight_ == 0)
+                cvDrained_.notify_all();
+        }
+        if (!failed)
+            job.promise.set_value(std::move(res));
+    }
+}
+
+void
+ServingEngine::drain()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    cvDrained_.wait(lock,
+                    [&] { return pending_ == 0 && inFlight_ == 0; });
+}
+
+ServingStats
+ServingEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return stats_;
+}
+
+} // namespace f1

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Multi-tenant serving engine: the system layer the SoK on FHE
+ * accelerators and BASALISC identify as where deployments live —
+ * scheduling many concurrent encrypted jobs, not just fast kernels.
+ *
+ * Requests are (Program, inputs) jobs tagged with a logical tenant.
+ * The engine keeps one FIFO queue per tenant and serves them
+ * round-robin, so a tenant flooding the queue cannot starve the
+ * others. W worker threads run jobs through the op-graph executor; in
+ * the default throughput mode each worker executes its job
+ * single-threaded (InlineParallelScope), so concurrency comes from
+ * job-level parallelism and jobs never contend for the shared pool —
+ * the right trade when independent jobs outnumber cores, which is the
+ * serving regime.
+ *
+ * Caches: a shared LRU over plaintext encodings (content-addressed,
+ * see EncodingKey) and the scheme's synchronized key-switch hint
+ * cache mean repeated requests skip re-encoding and re-keygen.
+ *
+ * Determinism: job outputs are a pure function of (program, inputs,
+ * seed) — independent of worker count, queue interleaving, and other
+ * tenants' traffic (tests/test_runtime.cpp asserts bit-identity
+ * against isolated execution).
+ */
+#ifndef F1_RUNTIME_SERVING_H
+#define F1_RUNTIME_SERVING_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/op_graph_executor.h"
+
+namespace f1 {
+
+struct ServingConfig
+{
+    /** Concurrent job workers; 0 = configuredThreadCount(). */
+    unsigned workers = 0;
+
+    /** Entries in the shared plaintext-encoding cache. */
+    size_t encodingCacheCapacity = 1024;
+
+    /**
+     * true (throughput mode): each worker runs its job
+     * single-threaded. false (latency mode): jobs use the shared pool
+     * for wavefront/limb parallelism and contend with each other.
+     */
+    bool inlineIntraOp = true;
+
+    /** Dispatch mode handed to each job's executor. */
+    DispatchMode dispatch = DispatchMode::kWavefront;
+};
+
+struct JobRequest
+{
+    /** Program to execute; must outlive the job's future. */
+    const Program *program = nullptr;
+    std::string tenant = "default";
+    RuntimeInputs inputs;
+};
+
+struct JobResult
+{
+    uint64_t jobId = 0;
+    std::string tenant;
+    ExecutionResult exec;
+    double queueMs = 0;   //!< submit -> worker pickup
+    double serviceMs = 0; //!< pickup -> completion (includes prepare)
+};
+
+struct ServingStats
+{
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    size_t peakQueueDepth = 0;
+    uint64_t encodingCacheHits = 0;
+    uint64_t encodingCacheMisses = 0;
+    std::map<std::string, uint64_t> completedPerTenant;
+};
+
+class ServingEngine
+{
+  public:
+    explicit ServingEngine(BgvScheme *bgv, ServingConfig cfg = {});
+    explicit ServingEngine(CkksScheme *ckks, ServingConfig cfg = {});
+
+    /** Drains every accepted job, then stops the workers. */
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /**
+     * Enqueues a job; the future resolves when it completes (or
+     * carries the job's exception). Throws if called during
+     * destruction.
+     */
+    std::future<JobResult> submit(JobRequest req);
+
+    /** Blocks until every job submitted so far has completed. */
+    void drain();
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    ServingStats stats() const;
+
+    /** Encoding-cache counters (shared across all jobs). */
+    CacheStats encodingCacheStats() const { return encCache_.stats(); }
+
+  private:
+    struct Job
+    {
+        uint64_t id = 0;
+        JobRequest req;
+        std::promise<JobResult> promise;
+        double submitMs = 0;
+    };
+
+    void start();
+    void workerLoop();
+    bool popJob(Job &out); //!< round-robin across tenant queues
+    JobResult runJob(Job &job);
+
+    BgvScheme *bgv_ = nullptr;
+    CkksScheme *ckks_ = nullptr;
+    ServingConfig cfg_;
+    EncodingCache encCache_;
+
+    mutable std::mutex m_;
+    std::condition_variable cvWork_;
+    std::condition_variable cvDrained_;
+    bool accepting_ = true;
+    bool stop_ = false;
+    uint64_t nextJobId_ = 1;
+    size_t pending_ = 0;  //!< queued, not yet picked up
+    size_t inFlight_ = 0; //!< picked up, not yet completed
+    std::map<std::string, std::deque<Job>> queues_;
+    std::vector<std::string> tenantOrder_; //!< first-seen order
+    size_t rrCursor_ = 0;
+    ServingStats stats_;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace f1
+
+#endif // F1_RUNTIME_SERVING_H

@@ -5,63 +5,101 @@
  * simulator, and the CPU baseline of Table 3: the same homomorphic
  * operation graph the F1 compiler schedules is executed in software
  * and timed.
+ *
+ * Since the serving-runtime PR this is a thin wrapper over
+ * runtime::OpGraphExecutor, so the reference path and the serving
+ * path share one engine. The default dispatch is wavefront-parallel;
+ * under F1_THREADS=1 (or DispatchMode::kSerial) results are
+ * bit-identical to the historical serial loop's order, and they are
+ * bit-identical across thread counts regardless (asserted by
+ * tests/test_runtime.cpp).
+ *
+ * Timed-region change vs the historical loop: first-use key-switch
+ * hint generation now happens in the untimed prepare phase
+ * (consistent with table4_micro, which always excluded keygen), so
+ * wallMs is lower on cold schemes than pre-runtime numbers — CPU
+ * baselines are not directly comparable across that boundary.
  */
 #ifndef F1_SIM_REFERENCE_EXECUTOR_H
 #define F1_SIM_REFERENCE_EXECUTOR_H
 
 #include <complex>
-#include <functional>
-#include <map>
 #include <vector>
 
-#include "compiler/program.h"
-#include "fhe/bgv.h"
-#include "fhe/ckks.h"
+#include "runtime/op_graph_executor.h"
 
 namespace f1 {
 
 /** Execution backends: which scheme interprets the program. */
 enum class RefScheme { kBgv, kCkks };
 
-struct RefExecutionResult
-{
-    double wallMs = 0; //!< software execution time
-    std::map<int, Ciphertext> outputs; //!< by DSL handle
-};
+/** Historical name; the runtime layer defines the shared type. */
+using RefExecutionResult = ExecutionResult;
 
 /**
  * Executes `prog` with the given scheme. Inputs are supplied through
- * callbacks keyed by DSL handle; handles without a callback get
- * deterministic pseudo-random data.
+ * setters keyed by DSL handle; handles without data get deterministic
+ * pseudo-random values.
  */
 class ReferenceExecutor
 {
   public:
     /** BGV backend. */
-    ReferenceExecutor(const Program &prog, BgvScheme *bgv);
+    ReferenceExecutor(const Program &prog, BgvScheme *bgv)
+        : scheme_(RefScheme::kBgv), exec_(prog, bgv)
+    {
+    }
+
     /** CKKS backend. */
-    ReferenceExecutor(const Program &prog, CkksScheme *ckks);
+    ReferenceExecutor(const Program &prog, CkksScheme *ckks)
+        : scheme_(RefScheme::kCkks), exec_(prog, ckks)
+    {
+    }
 
     /** Provides slot data for an encrypted input handle (BGV). */
-    void setInputSlots(int handle, std::vector<uint64_t> slots);
-    /** Provides slot data for an encrypted input handle (CKKS). */
-    void setInputSlots(int handle,
-                       std::vector<std::complex<double>> slots);
-    /** Provides plaintext data for an unencrypted input handle. */
-    void setPlainSlots(int handle, std::vector<uint64_t> slots);
-    void setPlainSlots(int handle,
-                       std::vector<std::complex<double>> slots);
+    void
+    setInputSlots(int handle, std::vector<uint64_t> slots)
+    {
+        inputs_.bgvSlots[handle] = std::move(slots);
+    }
 
-    RefExecutionResult run();
+    /** Provides slot data for an encrypted input handle (CKKS). */
+    void
+    setInputSlots(int handle, std::vector<std::complex<double>> slots)
+    {
+        inputs_.ckksSlots[handle] = std::move(slots);
+    }
+
+    /** Provides plaintext data for an unencrypted input handle. */
+    void
+    setPlainSlots(int handle, std::vector<uint64_t> slots)
+    {
+        inputs_.bgvPlainSlots[handle] = std::move(slots);
+    }
+
+    void
+    setPlainSlots(int handle, std::vector<std::complex<double>> slots)
+    {
+        inputs_.ckksPlainSlots[handle] = std::move(slots);
+    }
+
+    /** Seed for default input data and encryption randomness. */
+    void setSeed(uint64_t seed) { inputs_.seed = seed; }
+
+    /** kWavefront (default) or kSerial (historical op order). */
+    void setDispatchMode(DispatchMode mode)
+    {
+        exec_.setDispatchMode(mode);
+    }
+
+    RefScheme scheme() const { return scheme_; }
+
+    RefExecutionResult run() { return exec_.run(inputs_); }
 
   private:
-    const Program &prog_;
     RefScheme scheme_;
-    BgvScheme *bgv_ = nullptr;
-    CkksScheme *ckks_ = nullptr;
-    std::map<int, std::vector<uint64_t>> bgvInputs_, bgvPlains_;
-    std::map<int, std::vector<std::complex<double>>> ckksInputs_,
-        ckksPlains_;
+    OpGraphExecutor exec_;
+    RuntimeInputs inputs_;
 };
 
 } // namespace f1

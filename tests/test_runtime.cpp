@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Serving-runtime tests: the LRU cache, the DAG wavefront executor
+ * (bit-identity against serial order and across thread counts,
+ * liveness-based release), and the multi-tenant serving engine
+ * (bit-identity against isolated execution, run-to-run determinism
+ * with concurrent jobs in flight, cache hit accounting, round-robin
+ * fairness bookkeeping).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/lru_cache.h"
+#include "common/parallel.h"
+#include "runtime/op_graph_executor.h"
+#include "runtime/serving.h"
+#include "sim/reference_executor.h"
+
+namespace f1 {
+namespace {
+
+//
+// LruCache
+//
+
+TEST(LruCacheTest, PutGetAndEvictionOrder)
+{
+    LruCache<int, int> cache(2);
+    cache.put(1, 10);
+    cache.put(2, 20);
+    ASSERT_NE(cache.get(1), nullptr); // 1 is now most recent
+    cache.put(3, 30);                 // evicts 2
+    EXPECT_EQ(cache.get(2), nullptr);
+    ASSERT_NE(cache.get(1), nullptr);
+    EXPECT_EQ(*cache.get(1), 10);
+    ASSERT_NE(cache.get(3), nullptr);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, GetOrCreateComputesOnce)
+{
+    LruCache<int, int> cache;
+    int calls = 0;
+    auto make = [&] {
+        ++calls;
+        return 42;
+    };
+    EXPECT_EQ(*cache.getOrCreate(7, make), 42);
+    EXPECT_EQ(*cache.getOrCreate(7, make), 42);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(LruCacheTest, PinnedValueSurvivesEviction)
+{
+    LruCache<int, std::vector<int>> cache(1);
+    auto pinned = cache.put(1, std::vector<int>{1, 2, 3});
+    cache.put(2, std::vector<int>{4}); // evicts key 1
+    EXPECT_EQ(cache.get(1), nullptr);
+    ASSERT_EQ(pinned->size(), 3u); // still alive through our pin
+    EXPECT_EQ((*pinned)[2], 3);
+}
+
+TEST(LruCacheTest, SetCapacityEvictsDown)
+{
+    LruCache<int, int> cache;
+    for (int i = 0; i < 8; ++i)
+        cache.put(i, i);
+    cache.setCapacity(3);
+    EXPECT_EQ(cache.size(), 3u);
+    // The three most recently inserted survive.
+    EXPECT_NE(cache.get(7), nullptr);
+    EXPECT_NE(cache.get(6), nullptr);
+    EXPECT_NE(cache.get(5), nullptr);
+    EXPECT_EQ(cache.get(4), nullptr);
+}
+
+TEST(InlineParallelScopeTest, ForcesInlineExecution)
+{
+    setGlobalThreadCount(4);
+    std::set<std::thread::id> ids;
+    std::mutex m;
+    {
+        InlineParallelScope guard;
+        parallelFor(0, 64, [&](size_t) {
+            std::lock_guard<std::mutex> lock(m);
+            ids.insert(std::this_thread::get_id());
+        });
+    }
+    EXPECT_EQ(ids.size(), 1u);
+    EXPECT_TRUE(ids.count(std::this_thread::get_id()));
+    setGlobalThreadCount(0);
+}
+
+//
+// Executor fixtures
+//
+
+FheParams
+smallParams()
+{
+    FheParams p;
+    p.n = 256;
+    p.maxLevel = 8;
+    p.primeBits = 28;
+    p.plainModulus = 65537;
+    return p;
+}
+
+/** Two inputs, one plain, parallel branches, one dead op. */
+Program
+diamondProgram()
+{
+    Program p(256, 8, "diamond");
+    int x = p.input();
+    int y = p.input();
+    int w = p.inputPlain();
+    int a = p.mul(x, y);
+    int b = p.rotate(x, 1);
+    int c = p.mulPlain(y, w);
+    int d = p.add(a, c);
+    int e = p.sub(d, b);
+    int f = p.modSwitch(e);
+    int g = p.conjugate(f);
+    p.mul(x, x); // dead: never consumed, must be released not leaked
+    p.output(g);
+    p.output(b);
+    return p;
+}
+
+/** Serial accumulation chain: x added into an accumulator 12 times. */
+Program
+chainProgram()
+{
+    Program p(256, 8, "chain");
+    int x = p.input();
+    int acc = x;
+    for (int i = 0; i < 12; ++i)
+        acc = p.add(acc, x);
+    p.output(acc);
+    return p;
+}
+
+std::vector<uint32_t>
+ctBits(const Ciphertext &ct)
+{
+    std::vector<uint32_t> out;
+    for (const auto &poly : ct.polys)
+        out.insert(out.end(), poly.raw().begin(), poly.raw().end());
+    return out;
+}
+
+void
+expectIdenticalOutputs(const ExecutionResult &a,
+                       const ExecutionResult &b)
+{
+    ASSERT_EQ(a.outputs.size(), b.outputs.size());
+    for (const auto &[h, ct] : a.outputs) {
+        auto it = b.outputs.find(h);
+        ASSERT_NE(it, b.outputs.end()) << "missing output " << h;
+        EXPECT_EQ(ctBits(ct), ctBits(it->second))
+            << "output " << h << " diverged";
+        EXPECT_EQ(ct.noiseBits, it->second.noiseBits);
+        EXPECT_EQ(ct.scale, it->second.scale);
+        EXPECT_EQ(ct.ptCorrection, it->second.ptCorrection);
+    }
+}
+
+TEST(OpGraphExecutorTest, WavefrontMatchesSerialBgv)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+
+    OpGraphExecutor serial(p, &bgv);
+    serial.setDispatchMode(DispatchMode::kSerial);
+    OpGraphExecutor wave(p, &bgv);
+
+    RuntimeInputs in;
+    in.seed = 11;
+    auto rs = serial.run(in);
+    auto rw = wave.run(in);
+    expectIdenticalOutputs(rs, rw);
+    EXPECT_GT(rw.maxWavefrontWidth, 1u); // branches actually overlap
+    EXPECT_LT(rw.wavefronts, p.ops().size());
+}
+
+TEST(OpGraphExecutorTest, WavefrontMatchesSerialCkks)
+{
+    FheContext ctx(smallParams());
+    CkksScheme ckks(&ctx);
+    Program p(256, 8, "ckks-diamond");
+    int x = p.input();
+    int y = p.input();
+    int a = p.mul(x, y);
+    int r = p.modSwitch(a); // rescale
+    int b = p.rotate(r, 1);
+    int c = p.add(b, r);
+    p.output(c);
+    p.output(b);
+
+    OpGraphExecutor serial(p, &ckks);
+    serial.setDispatchMode(DispatchMode::kSerial);
+    OpGraphExecutor wave(p, &ckks);
+
+    RuntimeInputs in;
+    in.seed = 13;
+    expectIdenticalOutputs(serial.run(in), wave.run(in));
+}
+
+TEST(OpGraphExecutorTest, BitIdenticalAcrossThreadCounts)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    OpGraphExecutor exec(p, &bgv);
+    RuntimeInputs in;
+    in.seed = 17;
+
+    setGlobalThreadCount(1);
+    auto serial = exec.run(in);
+    for (unsigned threads : {2u, 4u}) {
+        setGlobalThreadCount(threads);
+        auto threaded = exec.run(in);
+        expectIdenticalOutputs(serial, threaded);
+    }
+    setGlobalThreadCount(0);
+}
+
+TEST(OpGraphExecutorTest, RepeatedRunsAreIdentical)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    OpGraphExecutor exec(p, &bgv);
+    RuntimeInputs in;
+    in.seed = 19;
+    auto first = exec.run(in);
+    auto second = exec.run(in);
+    expectIdenticalOutputs(first, second);
+}
+
+TEST(OpGraphExecutorTest, LivenessReleasesDeadCiphertexts)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = chainProgram();
+    OpGraphExecutor exec(p, &bgv);
+
+    RuntimeInputs in;
+    in.bgvSlots[0] = std::vector<uint64_t>(256, 1);
+    auto res = exec.run(in);
+
+    // Chain: input + current accumulator + freshly produced op. The
+    // pre-liveness executor held all 13 intermediates to the end.
+    EXPECT_LE(res.peakResidentCiphertexts, 4u);
+    EXPECT_GE(res.peakResidentCiphertexts, 2u);
+
+    auto slots = bgv.decryptSlots(res.outputs.begin()->second);
+    EXPECT_EQ(slots[0], 13u); // 1 + 12 additions of 1
+}
+
+TEST(OpGraphExecutorTest, ReferenceExecutorWrapper)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    ReferenceExecutor ref(p, &bgv);
+    auto res = ref.run();
+    EXPECT_EQ(res.outputs.size(), 2u);
+    EXPECT_GT(res.peakResidentCiphertexts, 0u);
+    EXPECT_GT(res.wavefronts, 0u);
+}
+
+TEST(OpGraphExecutorTest, HintCacheHitsOnRepeatedPrograms)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    OpGraphExecutor exec(p, &bgv);
+    exec.run();
+    const auto cold = bgv.hintCacheStats();
+    exec.run();
+    const auto warm = bgv.hintCacheStats();
+    EXPECT_GT(warm.hits, cold.hits);
+    EXPECT_EQ(warm.misses, cold.misses); // nothing regenerated
+}
+
+TEST(OpGraphExecutorTest, CappedHintCacheStaysCorrect)
+{
+    FheContext ctx(smallParams());
+    BgvScheme reference(&ctx);
+    BgvScheme capped(&ctx);
+    capped.setHintCacheCapacity(1); // every key-switch evicts
+    Program p = diamondProgram();
+
+    RuntimeInputs in;
+    in.seed = 23;
+    auto a = OpGraphExecutor(p, &reference).run(in);
+    auto b = OpGraphExecutor(p, &capped).run(in);
+    expectIdenticalOutputs(a, b);
+    EXPECT_GT(capped.hintCacheStats().evictions, 0u);
+}
+
+//
+// Serving engine
+//
+
+TEST(ServingEngineTest, JobsMatchIsolatedExecutionAndRepeat)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program diamond = diamondProgram();
+    Program chain = chainProgram();
+
+    const std::vector<std::string> tenants = {"alice", "bob", "carol"};
+    std::vector<uint64_t> sharedWeights(256);
+    for (size_t i = 0; i < sharedWeights.size(); ++i)
+        sharedWeights[i] = (3 * i + 1) % 65537;
+
+    auto makeRequest = [&](size_t i) {
+        JobRequest req;
+        req.program = i % 2 == 0 ? &diamond : &chain;
+        req.tenant = tenants[i % tenants.size()];
+        req.inputs.seed = 100 + i;
+        if (i % 2 == 0) // the diamond's model weights, shared by all
+            req.inputs.bgvPlainSlots[2] = sharedWeights;
+        return req;
+    };
+    const size_t kJobs = 12;
+
+    // Isolated reference execution, one job at a time, no caches.
+    std::vector<ExecutionResult> isolated;
+    for (size_t i = 0; i < kJobs; ++i) {
+        JobRequest req = makeRequest(i);
+        OpGraphExecutor exec(*req.program, &bgv);
+        isolated.push_back(exec.run(req.inputs));
+    }
+
+    for (int round = 0; round < 2; ++round) {
+        ServingConfig cfg;
+        cfg.workers = 4;
+        ServingEngine engine(&bgv, cfg);
+        std::vector<std::future<JobResult>> futs;
+        for (size_t i = 0; i < kJobs; ++i)
+            futs.push_back(engine.submit(makeRequest(i)));
+        for (size_t i = 0; i < kJobs; ++i) {
+            JobResult r = futs[i].get();
+            EXPECT_EQ(r.tenant, tenants[i % tenants.size()]);
+            EXPECT_GE(r.serviceMs, 0.0);
+            expectIdenticalOutputs(isolated[i], r.exec);
+        }
+
+        auto stats = engine.stats();
+        EXPECT_EQ(stats.submitted, kJobs);
+        EXPECT_EQ(stats.completed, kJobs);
+        EXPECT_EQ(stats.failed, 0u);
+        for (const auto &t : tenants)
+            EXPECT_EQ(stats.completedPerTenant.at(t), kJobs / 3);
+        // 6 diamond jobs share one weight vector: 1 miss, 5 hits.
+        EXPECT_GT(stats.encodingCacheHits, 0u);
+        EXPECT_GE(stats.encodingCacheMisses, 1u);
+    }
+}
+
+TEST(ServingEngineTest, CkksJobsAndDrain)
+{
+    FheContext ctx(smallParams());
+    CkksScheme ckks(&ctx);
+    Program p(256, 8, "ckks-serve");
+    int x = p.input();
+    int a = p.mul(x, x);
+    p.output(p.modSwitch(a));
+
+    ServingConfig cfg;
+    cfg.workers = 2;
+    ServingEngine engine(&ckks, cfg);
+    std::vector<std::future<JobResult>> futs;
+    for (size_t i = 0; i < 6; ++i) {
+        JobRequest req;
+        req.program = &p;
+        req.tenant = i % 2 ? "even" : "odd";
+        req.inputs.seed = 40 + i;
+        futs.push_back(engine.submit(std::move(req)));
+    }
+    engine.drain();
+    EXPECT_EQ(engine.stats().completed, 6u);
+
+    // Determinism with concurrency in flight: same seed, same bits.
+    auto r0 = futs[0].get();
+    JobRequest again;
+    again.program = &p;
+    again.inputs.seed = 40;
+    auto r = engine.submit(std::move(again)).get();
+    expectIdenticalOutputs(r0.exec, r.exec);
+}
+
+TEST(ServingEngineTest, RejectsJobWithoutProgram)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    ServingConfig cfg;
+    cfg.workers = 1;
+    ServingEngine engine(&bgv, cfg);
+    EXPECT_THROW(engine.submit(JobRequest{}), FatalError);
+}
+
+} // namespace
+} // namespace f1
