@@ -7,15 +7,21 @@
  * (BENCH_runtime.json in CI) with jobs/sec, p50/p95 turnaround
  * latency, queue latency, and cache hit rates per worker count.
  *
- * Every engine run is checked bit-for-bit against the serial
- * baseline: a throughput number from diverging ciphertexts is a
- * correctness failure, not a perf data point (exit 1). In full mode
- * the ≥2x jobs/sec acceptance gate at >=4 workers is enforced
- * (exit 2 on miss).
+ * A second section compares the three ExecutionPolicy schedulers
+ * (serial, wavefront, work stealing with compiler schedule hints) on
+ * a deep imbalanced DAG built to starve the wavefront barrier, and
+ * emits per-scheduler p50/p95 execute latency.
+ *
+ * Every run is checked bit-for-bit against the serial baseline: a
+ * throughput number from diverging ciphertexts is a correctness
+ * failure, not a perf data point (exit 1). In full mode on >= 4
+ * hardware threads two gates are enforced: >= 2x jobs/sec at >= 4
+ * workers (exit 2) and work-stealing p95 >= 10% below wavefront p95
+ * on the imbalanced DAG (exit 3).
  *
  * Usage: bench_runtime_throughput [--smoke]
  *   --smoke  CI canary: small degree, few jobs, workers {1, 2},
- *            correctness checks only (no speedup gate).
+ *            correctness checks only (no perf gates).
  */
 #include <algorithm>
 #include <cstdio>
@@ -27,6 +33,7 @@
 #include "common/hash.h"
 #include "common/parallel.h"
 #include "common/time_util.h"
+#include "compiler/compiler.h"
 #include "runtime/op_graph_executor.h"
 #include "runtime/serving.h"
 
@@ -63,6 +70,31 @@ aggregateProgram(uint32_t n)
     int u = p.rotate(t, 3);
     int v = p.add(t, u);
     p.output(p.modSwitch(v));
+    return p;
+}
+
+/**
+ * Deep imbalanced DAG — the wavefront scheduler's worst case.
+ * `chains` independent accumulator chains of `steps` ops each,
+ * phase-shifted so every lockstep round holds exactly one expensive
+ * ct-ct multiply and chains-1 cheap adds: a wavefront round costs one
+ * mul no matter how many threads attack it, so the whole program
+ * costs steps x mul. Work stealing runs the chains independently and
+ * spreads the muls across workers.
+ */
+Program
+deepImbalancedDag(uint32_t n, int chains, int steps)
+{
+    Program p(n, 3, "deep-dag");
+    std::vector<int> acc(chains);
+    for (int c = 0; c < chains; ++c)
+        acc[c] = p.input();
+    for (int s = 0; s < steps; ++s)
+        for (int c = 0; c < chains; ++c)
+            acc[c] = s % chains == c ? p.mul(acc[c], acc[c])
+                                     : p.add(acc[c], acc[c]);
+    for (int c = 0; c < chains; ++c)
+        p.output(acc[c]);
     return p;
 }
 
@@ -136,9 +168,12 @@ run(bool smoke)
         req.tenant = tenants[i % tenants.size()];
         req.inputs.seed = 1000 + i;
         if (i % 2 == 0)
-            req.inputs.bgvPlainSlots[1] = weights; // shared model
+            req.inputs.bind(1, weights); // shared model
         return req;
     };
+
+    ExecutionPolicy serialPolicy;
+    serialPolicy.scheduler = SchedulerKind::kSerial;
 
     // --- Untimed warm-up: one run per program shape generates every
     // key-switch hint, so neither the baseline nor the engine sweep
@@ -149,8 +184,7 @@ run(bool smoke)
         for (size_t i = 0; i < 2 && i < kJobs; ++i) {
             JobRequest req = makeRequest(i);
             OpGraphExecutor exec(*req.program, &bgv);
-            exec.setDispatchMode(DispatchMode::kSerial);
-            exec.run(req.inputs);
+            exec.execute(req.inputs, serialPolicy);
         }
     }
 
@@ -166,9 +200,8 @@ run(bool smoke)
         for (size_t i = 0; i < kJobs; ++i) {
             JobRequest req = makeRequest(i);
             OpGraphExecutor exec(*req.program, &bgv);
-            exec.setDispatchMode(DispatchMode::kSerial);
             const double j0 = steadyNowMs();
-            auto res = exec.run(req.inputs);
+            auto res = exec.execute(req.inputs, serialPolicy);
             baselineLat[i] = steadyNowMs() - j0;
             baselineHash[i] = outputsHash(res);
         }
@@ -214,6 +247,54 @@ run(bool smoke)
                         stats.encodingCacheMisses, identical});
     }
 
+    // --- Scheduler latency: the same deep imbalanced DAG under all
+    // three ExecutionPolicy schedulers, work stealing fed the
+    // compiler's schedule hints. wallMs is the timed execute phase
+    // (prepare excluded), so this isolates scheduling quality.
+    const Program dag =
+        deepImbalancedDag(n, 4, smoke ? 8 : 16);
+    const ScheduleHints dagHints =
+        compileProgram(dag, F1Config{}).hints;
+    const int reps = smoke ? 3 : 7;
+
+    struct SchedRow
+    {
+        const char *name;
+        SchedulerKind kind;
+        double p50Ms = 0, p95Ms = 0;
+        uint64_t steals = 0;
+        bool bitIdentical = true;
+    };
+    std::vector<SchedRow> sched = {
+        {"serial", SchedulerKind::kSerial},
+        {"wavefront", SchedulerKind::kWavefront},
+        {"work_stealing", SchedulerKind::kWorkStealing},
+    };
+    {
+        OpGraphExecutor exec(dag, &bgv);
+        RuntimeInputs in;
+        in.seed = 77;
+        exec.execute(in, serialPolicy); // untimed hint warm-up
+        const uint64_t want =
+            outputsHash(exec.execute(in, serialPolicy));
+        for (SchedRow &row : sched) {
+            ExecutionPolicy pol;
+            pol.scheduler = row.kind;
+            pol.scheduleHints = &dagHints;
+            std::vector<double> lat(reps);
+            for (int r = 0; r < reps; ++r) {
+                auto res = exec.execute(in, pol);
+                lat[r] = res.wallMs;
+                row.steals += res.steals;
+                row.bitIdentical = row.bitIdentical &&
+                                   outputsHash(res) == want;
+            }
+            row.p50Ms = percentile(lat, 0.50);
+            row.p95Ms = percentile(lat, 0.95);
+            allIdentical = allIdentical && row.bitIdentical;
+        }
+    }
+
     const auto hintStats = bgv.hintCacheStats();
     printf("{\n  \"bench\": \"runtime_throughput\",\n");
     printf("  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
@@ -240,6 +321,24 @@ run(bool smoke)
                i + 1 < rows.size() ? "," : "");
     }
     printf("  ],\n");
+    printf("  \"scheduler_latency\": {\n");
+    printf("    \"program\": \"deep-dag\", \"chains\": 4, \"reps\": "
+           "%d, \"threads\": %u,\n",
+           reps, hw);
+    printf("    \"results\": [\n");
+    for (size_t i = 0; i < sched.size(); ++i) {
+        const SchedRow &r = sched[i];
+        printf("      {\"scheduler\": \"%s\", \"p50_ms\": %.3f, "
+               "\"p95_ms\": %.3f, \"steals\": %llu, "
+               "\"bit_identical\": %s}%s\n",
+               r.name, r.p50Ms, r.p95Ms,
+               (unsigned long long)r.steals,
+               r.bitIdentical ? "true" : "false",
+               i + 1 < sched.size() ? "," : "");
+    }
+    printf("    ],\n");
+    printf("    \"ws_vs_wavefront_p95\": %.3f\n  },\n",
+           sched[1].p95Ms > 0 ? sched[2].p95Ms / sched[1].p95Ms : 0.0);
     printf("  \"hint_cache\": {\"hits\": %llu, \"misses\": %llu, "
            "\"evictions\": %llu}\n}\n",
            (unsigned long long)hintStats.hits,
@@ -258,6 +357,18 @@ run(bool smoke)
                         r.workers, r.speedup);
                 return 2;
             }
+        }
+        // Acceptance gate: on the deep imbalanced DAG at >= 4
+        // threads, work stealing must beat the wavefront barrier by
+        // >= 10% at p95. Below 4 hardware threads there is no
+        // barrier idleness to reclaim, so the gate is moot.
+        if (hw >= 4 &&
+            sched[2].p95Ms > 0.90 * sched[1].p95Ms) {
+            fprintf(stderr,
+                    "FAIL: work-stealing p95 %.3f ms vs wavefront "
+                    "%.3f ms (< 10%% improvement)\n",
+                    sched[2].p95Ms, sched[1].p95Ms);
+            return 3;
         }
     }
     return 0;

@@ -10,13 +10,15 @@
  * hint caches default to that, preserving the pre-runtime behavior of
  * the std::map caches they replace.
  *
- * getOrCreate() runs the factory under the cache lock: concurrent
- * requests for the same key compute it exactly once, at the cost of
- * serializing distinct-key factories. That is the right trade for key
- * material (hint generation is rare and must be deterministic); bulk
- * users that want concurrent misses (the encoding cache) use the
- * lock-free-miss get()/put() pair instead and tolerate the benign
- * duplicate compute.
+ * getOrCreate() runs the factory OUTSIDE the cache lock: factories in
+ * this codebase reach into the shared thread pool (hint generation
+ * parallelizes over limbs), and holding the cache lock across a pool
+ * dispatch while a pool batch body queries the same cache is a
+ * lock-order inversion — two application threads can deadlock.
+ * Concurrent misses on the same key may therefore compute it more
+ * than once; the first insert wins (put() semantics), which is safe
+ * because every factory here is deterministic per key, so the racing
+ * values are identical.
  */
 #ifndef F1_COMMON_LRU_CACHE_H
 #define F1_COMMON_LRU_CACHE_H
@@ -100,26 +102,26 @@ class LruCache
 
     /**
      * Returns the entry for `key`, running `make()` to create it on a
-     * miss. The factory executes under the cache lock (see file
-     * comment); it must not reenter the cache.
+     * miss. The factory executes outside the cache lock (see file
+     * comment): racing misses on one key may each run it, and the
+     * first completed insert wins — the factory must be deterministic
+     * per key.
      */
     template <typename F>
     std::shared_ptr<const V>
     getOrCreate(const K &key, F &&make)
     {
-        std::lock_guard<std::mutex> lock(m_);
-        auto it = map_.find(key);
-        if (it != map_.end()) {
-            ++stats_.hits;
-            touch(it);
-            return it->second.value;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            auto it = map_.find(key);
+            if (it != map_.end()) {
+                ++stats_.hits;
+                touch(it);
+                return it->second.value;
+            }
+            ++stats_.misses;
         }
-        ++stats_.misses;
-        auto value = std::make_shared<const V>(make());
-        lru_.push_front(key);
-        map_.emplace(key, Entry{value, lru_.begin()});
-        evictOverflow();
-        return value;
+        return putShared(key, std::make_shared<const V>(make()));
     }
 
     size_t

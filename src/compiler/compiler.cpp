@@ -1,5 +1,7 @@
 #include "compiler/compiler.h"
 
+#include <algorithm>
+
 namespace f1 {
 
 CompileResult
@@ -11,7 +13,50 @@ compileProgram(const Program &prog, const F1Config &cfg,
     r.memory = scheduleMemory(r.translation.dfg, cfg, opt.memPolicy);
     r.schedule = scheduleCycles(r.translation.dfg, r.memory, cfg,
                                 opt.recordEvents);
+    r.hints = deriveScheduleHints(prog, r.translation, r.memory,
+                                  r.schedule);
     return r;
+}
+
+ScheduleHints
+deriveScheduleHints(const Program &prog,
+                    const TranslationResult &translation,
+                    const MemScheduleResult &memory,
+                    const ScheduleResult &schedule)
+{
+    const size_t nOps = prog.ops().size();
+    const auto &instrOp = translation.instrOp;
+    F1_REQUIRE(instrOp.size() == schedule.instrIssueCycle.size(),
+               "translation and schedule describe different DFGs ("
+                   << instrOp.size() << " vs "
+                   << schedule.instrIssueCycle.size()
+                   << " instructions)");
+
+    ScheduleHints h;
+    h.startCycle.assign(nOps, 0);
+    h.releaseRank.assign(nOps, 0);
+
+    // startCycle: first issue cycle among the op's instructions.
+    std::vector<uint64_t> first(nOps, UINT64_MAX);
+    for (size_t i = 0; i < instrOp.size(); ++i) {
+        const size_t op = static_cast<size_t>(instrOp[i]);
+        F1_CHECK(op < nOps, "instrOp names handle outside program");
+        first[op] =
+            std::min(first[op], schedule.instrIssueCycle[i]);
+    }
+    for (size_t op = 0; op < nOps; ++op)
+        h.startCycle[op] = first[op] == UINT64_MAX ? 0 : first[op];
+
+    // releaseRank: position of the op's last compute in the memory
+    // scheduler's operation sequence (its liveness/retire order).
+    uint32_t pos = 0;
+    for (const MemOp &m : memory.sequence) {
+        if (m.type != MemOp::Type::kCompute)
+            continue;
+        ++pos;
+        h.releaseRank[static_cast<size_t>(instrOp[m.instr])] = pos;
+    }
+    return h;
 }
 
 } // namespace f1

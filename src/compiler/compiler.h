@@ -2,6 +2,13 @@
  * @file
  * The full three-phase F1 compiler pipeline (paper Fig. 3): program ->
  * instruction DFG -> data-movement schedule -> cycle-level schedule.
+ *
+ * Since the schedule-aware-runtime PR this header also exports
+ * ScheduleHints, the compiler->runtime product that closes the loop
+ * the paper opens in §4.4 ("our scheduler also doubles as a
+ * performance measurement tool"): the static schedule is distilled
+ * into per-HE-op priorities the OpGraphExecutor's work-stealing
+ * scheduler consumes (via ExecutionPolicy::scheduleHints).
  */
 #ifndef F1_COMPILER_COMPILER_H
 #define F1_COMPILER_COMPILER_H
@@ -20,16 +27,55 @@ struct CompileOptions
     bool recordEvents = false;
 };
 
+/**
+ * Per-HE-op runtime hints distilled from the static schedule, indexed
+ * by DSL handle. The runtime's work-stealing scheduler pops ready ops
+ * in ascending (startCycle, releaseRank, handle) order:
+ *
+ *  - startCycle is the cycle the phase-3 scheduler issued the op's
+ *    first instruction at. Ready ops the static schedule starts
+ *    earlier are on (or nearer) the critical path, so they run first.
+ *  - releaseRank is the position of the op's last instruction in the
+ *    phase-2 memory scheduler's operation sequence — the liveness
+ *    order. Among ops the cycle scheduler starts together, running
+ *    lower ranks first retires operands in the order the Belady
+ *    scheduler planned their death, bounding resident ciphertexts.
+ *
+ * Ops that emit no instructions (inputs, materialized during the
+ * untimed prepare phase) carry 0/0 and never reach the ready set.
+ */
+struct ScheduleHints
+{
+    std::vector<uint64_t> startCycle;  //!< by HeOp handle
+    std::vector<uint32_t> releaseRank; //!< by HeOp handle
+
+    /** Number of ops described; must equal Program::ops().size() of
+     *  the program the hints were derived from. */
+    size_t size() const { return startCycle.size(); }
+};
+
 struct CompileResult
 {
     TranslationResult translation;
     MemScheduleResult memory;
     ScheduleResult schedule;
+    ScheduleHints hints; //!< runtime hints (see deriveScheduleHints)
 };
 
-/** Runs all three phases against `cfg`. */
+/** Runs all three phases against `cfg` and derives runtime hints. */
 CompileResult compileProgram(const Program &prog, const F1Config &cfg,
                              const CompileOptions &opt = {});
+
+/**
+ * Distills the phase-2/phase-3 products into ScheduleHints for
+ * `prog`. Exposed separately so callers that already hold a
+ * CompileResult for a different machine config can re-derive hints
+ * without recompiling.
+ */
+ScheduleHints deriveScheduleHints(const Program &prog,
+                                  const TranslationResult &translation,
+                                  const MemScheduleResult &memory,
+                                  const ScheduleResult &schedule);
 
 } // namespace f1
 

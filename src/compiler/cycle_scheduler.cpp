@@ -77,6 +77,7 @@ class CycleScheduler
             rf.init(cfg.regFileSlots(n));
         valueReady_.assign(dfg.values.size(), 0);
         valueBank_.assign(dfg.values.size(), UINT16_MAX);
+        result_.instrIssueCycle.assign(dfg.instrs.size(), 0);
         // Decoupling window: about half the scratchpad of prefetch.
         prefetchWindow_ =
             (uint64_t)(cfg.scratchBytes() / 2 / cfg.hbmBytesPerCycle());
@@ -144,7 +145,8 @@ class CycleScheduler
         bump(valueReady_[v]);
     }
 
-    void
+    /** @return the store's HBM start cycle. */
+    uint64_t
     doStore(ValueId v)
     {
         uint16_t bank = homeBank(v);
@@ -158,6 +160,7 @@ class CycleScheduler
         recordEvent({ScheduledEvent::Res::kHbm, 0, 0, 0, start,
                      hbmFree_, UINT32_MAX, v});
         bump(hbmFree_);
+        return start;
     }
 
     /** Fetches an operand into cluster c; returns its arrival cycle. */
@@ -191,7 +194,7 @@ class CycleScheduler
         const Instruction &ins = dfg_.instrs[id];
         if (ins.op == Opcode::kStore) {
             // Output stores flow through the memory path.
-            doStore(ins.src0);
+            result_.instrIssueCycle[id] = doStore(ins.src0);
             return;
         }
         const FuType fu = fuFor(ins.op);
@@ -233,6 +236,7 @@ class CycleScheduler
         }
         const uint32_t occ = cfg_.occupancy(fu, dfg_.n);
         uint64_t issue = std::max(operands, fu_free);
+        result_.instrIssueCycle[id] = issue;
         fuFree_[(size_t)fu][cluster * units + unit] = issue + occ;
         result_.fuBusyCycles[(size_t)fu] += occ;
         result_.timeline.addFu(fu, issue, occ);

@@ -81,6 +81,14 @@ struct ScheduleResult
     Timeline timeline;
     std::vector<ScheduledEvent> events;
 
+    /**
+     * Issue cycle assigned to every instruction (parallel to
+     * dfg.instrs; stores record their HBM start). Always populated —
+     * unlike `events` it is one word per instruction, and it is the
+     * raw material deriveScheduleHints turns into runtime priorities.
+     */
+    std::vector<uint64_t> instrIssueCycle;
+
     double
     timeMs(const F1Config &cfg) const
     {

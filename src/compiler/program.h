@@ -138,6 +138,16 @@ class Program
         return push({HeOpKind::kOutput, a, -1, 0, ops_[a].level});
     }
 
+    /**
+     * Appends an op verbatim, without the builder's level checks or
+     * hint bookkeeping — the entry point for deserializers and
+     * generated frontends. Unlike the builder methods, operands may
+     * reference handles appended later (forward references); the
+     * op-graph executor topologically sorts at graph build and rejects
+     * cycles with a diagnostic naming the offending handles.
+     */
+    int pushRaw(HeOp op) { return push(op); }
+
     size_t hintCount() const { return hintIds_.size(); }
 
     /** Number of ops using each hint (reuse statistics, §4.2). */

@@ -41,8 +41,11 @@ class Translator
     {
         orderOps();
         hintUses_ = prog_.hintUseCounts();
-        for (int op : result_.opOrder)
+        for (int op : result_.opOrder) {
             emitOp(op);
+            // Everything emitted since the last op belongs to `op`.
+            result_.instrOp.resize(result_.dfg.instrs.size(), op);
+        }
         result_.dfg.validate();
         return std::move(result_);
     }

@@ -39,6 +39,15 @@ struct TranslationResult
     Dfg dfg;
     std::vector<int> opOrder; //!< phase-1 order of HE ops
     size_t hintRVecs = 0;     //!< total key-switch hint working set
+
+    /**
+     * HE-op handle that emitted each instruction (parallel to
+     * dfg.instrs). Lets later phases attribute instruction-level
+     * schedule decisions back to the source homomorphic op — the
+     * mapping deriveScheduleHints uses to distill per-op runtime
+     * hints from the static schedule.
+     */
+    std::vector<int> instrOp;
 };
 
 /** Runs phase 1 on `prog`. */

@@ -1,6 +1,12 @@
 #include "runtime/op_graph_executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <sstream>
+#include <thread>
 
 #include "common/error.h"
 #include "common/hash.h"
@@ -49,6 +55,71 @@ producesCiphertext(const HeOp &op)
            op.kind != HeOpKind::kInputPlain;
 }
 
+bool
+isSource(const HeOp &op)
+{
+    return op.kind == HeOpKind::kInput ||
+           op.kind == HeOpKind::kInputPlain;
+}
+
+const std::vector<uint64_t> *
+bgvBinding(const RuntimeInputs &in, int h)
+{
+    auto it = in.bindings.find(h);
+    if (it == in.bindings.end())
+        return nullptr;
+    const auto *v = std::get_if<std::vector<uint64_t>>(&it->second);
+    F1_REQUIRE(v != nullptr,
+               "input binding for handle "
+                   << h
+                   << " holds CKKS slot data, but the executor runs a "
+                      "BGV program");
+    return v;
+}
+
+const std::vector<std::complex<double>> *
+ckksBinding(const RuntimeInputs &in, int h)
+{
+    auto it = in.bindings.find(h);
+    if (it == in.bindings.end())
+        return nullptr;
+    const auto *v =
+        std::get_if<std::vector<std::complex<double>>>(&it->second);
+    F1_REQUIRE(v != nullptr,
+               "input binding for handle "
+                   << h
+                   << " holds BGV slot data, but the executor runs a "
+                      "CKKS program");
+    return v;
+}
+
+/**
+ * Strict total order over ops for scheduling decisions. Without hints
+ * every op carries (0, 0), so the order degenerates to ascending
+ * handle — the historical deterministic order. With hints, ready ops
+ * sort critical-path-first (cycle-scheduler issue cycle), then by the
+ * memory scheduler's liveness rank, then by handle.
+ */
+struct OpPriority
+{
+    const ScheduleHints *hints = nullptr;
+
+    bool
+    before(int a, int b) const
+    {
+        if (hints != nullptr) {
+            const size_t ua = static_cast<size_t>(a);
+            const size_t ub = static_cast<size_t>(b);
+            if (hints->startCycle[ua] != hints->startCycle[ub])
+                return hints->startCycle[ua] < hints->startCycle[ub];
+            if (hints->releaseRank[ua] != hints->releaseRank[ub])
+                return hints->releaseRank[ua] <
+                       hints->releaseRank[ub];
+        }
+        return a < b;
+    }
+};
+
 } // namespace
 
 struct OpGraphExecutor::RunState
@@ -60,6 +131,7 @@ struct OpGraphExecutor::RunState
     std::vector<int> indeg;
     std::vector<int> uses;
     size_t resident = 0;
+    EncodingCache *encCache = nullptr;
     ExecutionResult result;
 
     void
@@ -96,12 +168,55 @@ OpGraphExecutor::buildGraph()
         for (int d : deps) {
             if (d < 0)
                 continue;
-            F1_REQUIRE(static_cast<size_t>(d) < i,
-                       "op " << i << " references future handle " << d);
+            F1_REQUIRE(static_cast<size_t>(d) < n &&
+                           d != static_cast<int>(i),
+                       "op " << i << " references invalid handle "
+                             << d);
             dependents_[d].push_back(static_cast<int>(i));
             ++indegree_[i];
             ++consumers_[d];
         }
+    }
+
+    // Kahn's algorithm with ascending-handle selection. Programs from
+    // the builder API are already topologically sorted, so this
+    // reproduces program order exactly (kSerial keeps its historical
+    // semantics); pushRaw programs with forward references get a
+    // valid order; and a cyclic graph is rejected here with the
+    // offending handles named, instead of the executor spinning on a
+    // never-ready op set.
+    topoOrder_.clear();
+    topoOrder_.reserve(n);
+    std::vector<int> indeg = indegree_;
+    std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+    for (size_t i = 0; i < n; ++i)
+        if (indeg[i] == 0)
+            ready.push(static_cast<int>(i));
+    while (!ready.empty()) {
+        const int h = ready.top();
+        ready.pop();
+        topoOrder_.push_back(h);
+        for (int dep : dependents_[h])
+            if (--indeg[dep] == 0)
+                ready.push(dep);
+    }
+    if (topoOrder_.size() != n) {
+        std::ostringstream stuck;
+        int listed = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (indeg[i] == 0)
+                continue;
+            if (listed++ > 0)
+                stuck << ", ";
+            if (listed > 8) {
+                stuck << "...";
+                break;
+            }
+            stuck << i;
+        }
+        F1_REQUIRE(false, "op DAG has a cycle; handles {"
+                              << stuck.str()
+                              << "} never become ready");
     }
 }
 
@@ -144,17 +259,16 @@ OpGraphExecutor::prepare(const RuntimeInputs &in, RunState &st) const
         const int h = static_cast<int>(i);
         if (op.kind == HeOpKind::kInput) {
             if (bgv_) {
-                auto it = in.bgvSlots.find(h);
+                const auto *bound = bgvBinding(in, h);
                 std::vector<uint64_t> slots =
-                    it != in.bgvSlots.end()
-                        ? it->second
-                        : rng.uniformVector(n, bgv_->plainModulus());
+                    bound ? *bound
+                          : rng.uniformVector(n, bgv_->plainModulus());
                 st.cts[h] = bgv_->encryptSlots(slots, op.level, rng);
             } else {
-                auto it = in.ckksSlots.find(h);
+                const auto *bound = ckksBinding(in, h);
                 std::vector<std::complex<double>> slots(n / 2);
-                if (it != in.ckksSlots.end()) {
-                    slots = it->second;
+                if (bound) {
+                    slots = *bound;
                 } else {
                     for (auto &s : slots)
                         s = {rng.uniformReal(-1, 1), 0.0};
@@ -164,17 +278,16 @@ OpGraphExecutor::prepare(const RuntimeInputs &in, RunState &st) const
             ++st.resident;
         } else if (op.kind == HeOpKind::kInputPlain) {
             if (bgv_) {
-                auto it = in.bgvPlainSlots.find(h);
+                const auto *bound = bgvBinding(in, h);
                 std::vector<uint64_t> slots =
-                    it != in.bgvPlainSlots.end()
-                        ? it->second
-                        : rng.uniformVector(n, bgv_->plainModulus());
+                    bound ? *bound
+                          : rng.uniformVector(n, bgv_->plainModulus());
                 st.bgvPts[h] = encodeBgvPlain(slots, st);
             } else {
-                auto it = in.ckksPlainSlots.find(h);
+                const auto *bound = ckksBinding(in, h);
                 std::vector<std::complex<double>> slots(n / 2);
-                if (it != in.ckksPlainSlots.end()) {
-                    slots = it->second;
+                if (bound) {
+                    slots = *bound;
                 } else {
                     for (auto &s : slots)
                         s = {rng.uniformReal(-1, 1), 0.0};
@@ -190,7 +303,7 @@ std::shared_ptr<const std::vector<int64_t>>
 OpGraphExecutor::encodeBgvPlain(std::span<const uint64_t> slots,
                                 RunState &st) const
 {
-    if (!encCache_) {
+    if (!st.encCache) {
         return std::make_shared<const std::vector<int64_t>>(
             bgv_->encoder().encodeSlots(slots));
     }
@@ -199,14 +312,14 @@ OpGraphExecutor::encodeBgvPlain(std::span<const uint64_t> slots,
         hashCombine(hashCombine(hashMix(0xe4c0de), prog_.n()),
                     bgv_->plainModulus());
     key.dataHash = hashU64Span(slots);
-    if (auto hit = encCache_->get(key)) {
+    if (auto hit = st.encCache->get(key)) {
         ++st.result.encodingCacheHits;
         return hit;
     }
     ++st.result.encodingCacheMisses;
     // A concurrent job may race the same miss; put() keeps the first
     // value, and both values are identical (encoding is pure).
-    return encCache_->put(key, bgv_->encoder().encodeSlots(slots));
+    return st.encCache->put(key, bgv_->encoder().encodeSlots(slots));
 }
 
 void
@@ -263,9 +376,10 @@ OpGraphExecutor::executeOp(int h, RunState &st) const
 /**
  * Post-completion bookkeeping for op `h`: unlocks dependents whose
  * operands are now all computed (appended to readyOut) and releases
- * any ciphertext that `h` consumed for the last time. Runs on the
- * coordinating thread between wavefronts, so releases never race
- * against in-flight readers.
+ * any ciphertext that `h` consumed for the last time. Used by the
+ * serial and wavefront schedulers, which run it on the coordinating
+ * thread between rounds, so releases never race against in-flight
+ * readers; the work-stealing scheduler has its own atomic version.
  */
 void
 OpGraphExecutor::retireOp(int h, RunState &st,
@@ -286,11 +400,273 @@ OpGraphExecutor::retireOp(int h, RunState &st,
         st.release(h);
 }
 
-ExecutionResult
-OpGraphExecutor::run(const RuntimeInputs &in) const
+void
+OpGraphExecutor::runSerial(RunState &st) const
+{
+    const auto &ops = prog_.ops();
+    std::vector<int> ignored;
+    for (int h : topoOrder_) {
+        const HeOp &op = ops[h];
+        if (isSource(op))
+            continue;
+        executeOp(h, st);
+        if (producesCiphertext(op))
+            ++st.resident;
+        st.result.peakResidentCiphertexts =
+            std::max(st.result.peakResidentCiphertexts, st.resident);
+        retireOp(h, st, ignored);
+        ++st.result.wavefronts;
+        st.result.maxWavefrontWidth = 1;
+    }
+}
+
+void
+OpGraphExecutor::runWavefront(RunState &st,
+                              const ExecutionPolicy &policy) const
 {
     const auto &ops = prog_.ops();
     const size_t n = ops.size();
+    const OpPriority prio{policy.scheduleHints};
+    const auto byPriority = [&](int a, int b) {
+        return prio.before(a, b);
+    };
+
+    // Seed the first wavefront by propagating input completions.
+    std::vector<int> ready;
+    for (size_t i = 0; i < n; ++i) {
+        if (!isSource(ops[i]))
+            continue;
+        for (int dep : dependents_[i]) {
+            if (--st.indeg[dep] == 0)
+                ready.push_back(dep);
+        }
+    }
+    std::sort(ready.begin(), ready.end(), byPriority);
+
+    std::vector<int> next;
+    while (!ready.empty()) {
+        ++st.result.wavefronts;
+        st.result.maxWavefrontWidth =
+            std::max(st.result.maxWavefrontWidth, ready.size());
+        if (ready.size() == 1) {
+            executeOp(ready[0], st);
+        } else {
+            parallelFor(0, ready.size(), [&](size_t i) {
+                executeOp(ready[i], st);
+            });
+        }
+        for (int h : ready) {
+            if (producesCiphertext(ops[h]))
+                ++st.resident;
+        }
+        st.result.peakResidentCiphertexts =
+            std::max(st.result.peakResidentCiphertexts, st.resident);
+        next.clear();
+        for (int h : ready)
+            retireOp(h, st, next);
+        // The priority order keeps the within-wavefront claim order
+        // deterministic under F1_THREADS=1 (inline index order);
+        // without hints it is ascending handles, as before.
+        std::sort(next.begin(), next.end(), byPriority);
+        ready.swap(next);
+    }
+}
+
+/**
+ * Continuation scheduling: W workers each own a priority deque of
+ * ready ops. Completing op `h` atomically decrements its consumers'
+ * dependency counts; a consumer reaching zero is pushed onto the
+ * completing worker's deque (the continuation stays local). A worker
+ * whose deque is empty steals the most urgent op from another deque.
+ * No round barrier exists, so an expensive op never stalls
+ * independent work that becomes ready while it runs.
+ *
+ * Synchronization: all deque traffic goes through per-deque mutexes;
+ * dependency counts are acq_rel atomics, so a consumer popped from
+ * any deque observes every producer's ciphertext write. Consumer
+ * counts are acq_rel atomics too: the thread whose decrement reaches
+ * zero is the only one to release the ciphertext, and every reader
+ * has already finished (it decrements only after executing).
+ */
+void
+OpGraphExecutor::runWorkStealing(RunState &st,
+                                 const ExecutionPolicy &policy) const
+{
+    const auto &ops = prog_.ops();
+    const size_t n = ops.size();
+    const OpPriority prio{policy.scheduleHints};
+    // Min-heap on OpPriority: heapCmp is "worse-than".
+    const auto heapCmp = [&](int a, int b) {
+        return prio.before(b, a);
+    };
+
+    unsigned workers = globalThreadCount();
+    if (policy.threadBudget != 0)
+        workers = std::min(workers, policy.threadBudget);
+    workers = std::max(workers, 1u);
+    const size_t W = workers;
+
+    struct WorkerDeque
+    {
+        std::mutex m;
+        std::vector<int> heap; //!< ready ops, min-heap by priority
+    };
+    std::unique_ptr<WorkerDeque[]> deques(new WorkerDeque[W]);
+
+    std::vector<std::atomic<int>> indeg(n);
+    std::vector<std::atomic<int>> uses(n);
+    for (size_t i = 0; i < n; ++i) {
+        indeg[i].store(indegree_[i], std::memory_order_relaxed);
+        uses[i].store(consumers_[i], std::memory_order_relaxed);
+    }
+
+    size_t totalWork = 0;
+    for (const HeOp &op : ops)
+        if (!isSource(op))
+            ++totalWork;
+    std::atomic<size_t> remaining{totalWork};
+    std::atomic<size_t> resident{st.resident};
+    std::atomic<size_t> peakResident{st.result.peakResidentCiphertexts};
+    std::atomic<size_t> steals{0};
+    std::atomic<bool> abort{false};
+    std::mutex errMutex;
+    std::exception_ptr firstError;
+
+    // Seed: propagate input completions, then deal the initial ready
+    // set round-robin across the deques in priority order so workers
+    // start loaded without stealing.
+    std::vector<int> ready0;
+    for (size_t i = 0; i < n; ++i) {
+        if (!isSource(ops[i]))
+            continue;
+        for (int dep : dependents_[i]) {
+            if (indeg[dep].fetch_sub(1, std::memory_order_relaxed) ==
+                1)
+                ready0.push_back(dep);
+        }
+    }
+    std::sort(ready0.begin(), ready0.end(),
+              [&](int a, int b) { return prio.before(a, b); });
+    for (size_t k = 0; k < ready0.size(); ++k)
+        deques[k % W].heap.push_back(ready0[k]);
+    for (size_t w = 0; w < W; ++w)
+        std::make_heap(deques[w].heap.begin(), deques[w].heap.end(),
+                       heapCmp);
+
+    auto popFrom = [&](WorkerDeque &dq) -> int {
+        std::lock_guard<std::mutex> lock(dq.m);
+        if (dq.heap.empty())
+            return -1;
+        std::pop_heap(dq.heap.begin(), dq.heap.end(), heapCmp);
+        const int h = dq.heap.back();
+        dq.heap.pop_back();
+        return h;
+    };
+    auto pushTo = [&](WorkerDeque &dq, int h) {
+        std::lock_guard<std::mutex> lock(dq.m);
+        dq.heap.push_back(h);
+        std::push_heap(dq.heap.begin(), dq.heap.end(), heapCmp);
+    };
+
+    auto releaseCt = [&](int h) {
+        st.cts[h].reset();
+        resident.fetch_sub(1, std::memory_order_relaxed);
+    };
+
+    auto runOne = [&](size_t wid, int h) {
+        executeOp(h, st);
+        if (producesCiphertext(ops[h])) {
+            const size_t cur =
+                resident.fetch_add(1, std::memory_order_relaxed) + 1;
+            size_t peak =
+                peakResident.load(std::memory_order_relaxed);
+            while (cur > peak &&
+                   !peakResident.compare_exchange_weak(
+                       peak, cur, std::memory_order_relaxed)) {
+            }
+            // Dead code: a result nothing consumes is dropped now.
+            if (uses[h].load(std::memory_order_acquire) == 0)
+                releaseCt(h);
+        }
+        // Unlock dependents; newly-ready continuations stay local.
+        for (int dep : dependents_[h]) {
+            if (indeg[dep].fetch_sub(1,
+                                     std::memory_order_acq_rel) == 1)
+                pushTo(deques[wid], dep);
+        }
+        // Release operands this op consumed for the last time.
+        int deps[2];
+        ctOperands(ops[h], deps);
+        for (int d : deps) {
+            if (d >= 0 &&
+                uses[d].fetch_sub(1, std::memory_order_acq_rel) == 1)
+                releaseCt(d);
+        }
+        remaining.fetch_sub(1, std::memory_order_release);
+    };
+
+    auto worker = [&](size_t wid) {
+        try {
+            for (;;) {
+                if (abort.load(std::memory_order_relaxed))
+                    return;
+                int h = popFrom(deques[wid]);
+                if (h < 0) {
+                    for (size_t k = 1; k < W && h < 0; ++k)
+                        h = popFrom(deques[(wid + k) % W]);
+                    if (h >= 0)
+                        steals.fetch_add(1,
+                                         std::memory_order_relaxed);
+                }
+                if (h < 0) {
+                    if (remaining.load(std::memory_order_acquire) ==
+                        0)
+                        return;
+                    std::this_thread::yield();
+                    continue;
+                }
+                runOne(wid, h);
+            }
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(errMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+            // Unblock the other workers: they must not spin on a
+            // remaining count that will never reach zero.
+            abort.store(true, std::memory_order_relaxed);
+        }
+    };
+
+    // One pool dispatch for the whole run: each claimed index is a
+    // long-lived worker loop. Under InlineParallelScope (or a
+    // one-thread pool) the bodies run inline in index order — worker
+    // 0 drains the whole graph in strict priority order, the rest
+    // find no work — so the serial fallback is exact and
+    // deterministic.
+    parallelFor(0, W, worker);
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    st.resident = resident.load(std::memory_order_relaxed);
+    st.result.peakResidentCiphertexts =
+        peakResident.load(std::memory_order_relaxed);
+    st.result.steals = steals.load(std::memory_order_relaxed);
+}
+
+ExecutionResult
+OpGraphExecutor::execute(const RuntimeInputs &in,
+                         const ExecutionPolicy &policy) const
+{
+    const auto &ops = prog_.ops();
+    const size_t n = ops.size();
+    if (policy.scheduleHints != nullptr) {
+        F1_REQUIRE(policy.scheduleHints->size() == n,
+                   "schedule hints describe "
+                       << policy.scheduleHints->size()
+                       << " ops but the program has " << n);
+    }
 
     RunState st;
     st.cts.resize(n);
@@ -299,70 +675,21 @@ OpGraphExecutor::run(const RuntimeInputs &in) const
     st.ckksPts.resize(n);
     st.indeg = indegree_;
     st.uses = consumers_;
+    st.encCache = policy.encodingCache;
 
     prepare(in, st);
 
-    auto bumpPeak = [&st] {
-        st.result.peakResidentCiphertexts =
-            std::max(st.result.peakResidentCiphertexts, st.resident);
-    };
-
     const double t0 = steadyNowMs();
-    if (mode_ == DispatchMode::kSerial) {
-        std::vector<int> ignored;
-        for (size_t i = 0; i < n; ++i) {
-            const HeOp &op = ops[i];
-            if (op.kind == HeOpKind::kInput ||
-                op.kind == HeOpKind::kInputPlain)
-                continue;
-            const int h = static_cast<int>(i);
-            executeOp(h, st);
-            if (producesCiphertext(op))
-                ++st.resident;
-            bumpPeak();
-            retireOp(h, st, ignored);
-            ++st.result.wavefronts;
-            st.result.maxWavefrontWidth = 1;
-        }
-    } else {
-        // Seed the first wavefront by propagating input completions.
-        std::vector<int> ready;
-        for (size_t i = 0; i < n; ++i) {
-            if (ops[i].kind != HeOpKind::kInput &&
-                ops[i].kind != HeOpKind::kInputPlain)
-                continue;
-            for (int dep : dependents_[i]) {
-                if (--st.indeg[dep] == 0)
-                    ready.push_back(dep);
-            }
-        }
-        std::sort(ready.begin(), ready.end());
-
-        std::vector<int> next;
-        while (!ready.empty()) {
-            ++st.result.wavefronts;
-            st.result.maxWavefrontWidth =
-                std::max(st.result.maxWavefrontWidth, ready.size());
-            if (ready.size() == 1) {
-                executeOp(ready[0], st);
-            } else {
-                parallelFor(0, ready.size(), [&](size_t i) {
-                    executeOp(ready[i], st);
-                });
-            }
-            for (int h : ready) {
-                if (producesCiphertext(ops[h]))
-                    ++st.resident;
-            }
-            bumpPeak();
-            next.clear();
-            for (int h : ready)
-                retireOp(h, st, next);
-            // Ascending handles keep the within-wavefront claim order
-            // deterministic under F1_THREADS=1 (inline index order).
-            std::sort(next.begin(), next.end());
-            ready.swap(next);
-        }
+    switch (policy.scheduler) {
+      case SchedulerKind::kSerial:
+        runSerial(st);
+        break;
+      case SchedulerKind::kWavefront:
+        runWavefront(st, policy);
+        break;
+      case SchedulerKind::kWorkStealing:
+        runWorkStealing(st, policy);
+        break;
     }
     st.result.wallMs = steadyNowMs() - t0;
 

@@ -5,19 +5,35 @@
  *
  * F1 exploits parallelism below the program (limbs, lanes); this
  * executor adds the level above it: each HeOp's ciphertext operands
- * define a dependency DAG over the Program's op list, and ready
- * wavefronts (ops whose operands are all computed) execute
- * concurrently on the shared thread pool. Per-op FHE kernels called
- * from a pool worker take the pool's inline path, so the two levels
- * compose without nesting deadlocks: wide wavefronts parallelize
- * across ops, narrow ones fall through to per-limb parallelism.
+ * define a dependency DAG over the Program's op list, and independent
+ * ops execute concurrently on the shared thread pool. Per-op FHE
+ * kernels called from a pool worker take the pool's inline path, so
+ * the two levels compose without nesting deadlocks: wide op-level
+ * parallelism narrows gracefully into per-limb parallelism.
  *
- * Determinism contract: every homomorphic op is a pure function of
- * its operands (hint randomness is derived per identity — see
- * hintSeed — and encryption randomness comes from a per-run Rng
- * consumed in program order during the serial prepare phase), so
- * outputs are bit-identical for any dispatch mode, thread count, and
- * concurrent-job interleaving. tests/test_runtime.cpp asserts this.
+ * Three schedulers (ExecutionPolicy::scheduler):
+ *  - kSerial: one op at a time in deterministic topological (program)
+ *    order — the debugging/baseline mode.
+ *  - kWavefront: rounds of all-ready ops with a barrier between
+ *    rounds. Simple, but imbalanced rounds leave threads idle at the
+ *    barrier.
+ *  - kWorkStealing: continuation scheduling. Each completed op
+ *    decrements its consumers' dependency counts and enqueues
+ *    newly-ready ops on the completing worker's deque; idle workers
+ *    steal. No thread ever waits at a round barrier. When
+ *    ExecutionPolicy::scheduleHints carries the compiler's static
+ *    schedule, ready ops are prioritized critical-path-first
+ *    (cycle-scheduler issue order) with memory-scheduler liveness
+ *    rank as the tie-break — F1's §4.4 static schedule driving
+ *    dynamic execution.
+ *
+ * Determinism contract (unchanged across schedulers): every
+ * homomorphic op is a pure function of its operands (hint randomness
+ * is derived per identity — see hintSeed — and encryption randomness
+ * comes from a per-run Rng consumed in program order during the
+ * serial prepare phase), so outputs are bit-identical for any
+ * scheduler, thread count, schedule hints, and concurrent-job
+ * interleaving. tests/test_runtime.cpp asserts this.
  *
  * Liveness: the executor counts the consumers of every ciphertext
  * handle and releases each ciphertext after its last consumer
@@ -34,9 +50,11 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <variant>
 #include <vector>
 
 #include "common/lru_cache.h"
+#include "compiler/compiler.h"
 #include "compiler/program.h"
 #include "fhe/bgv.h"
 #include "fhe/ckks.h"
@@ -44,24 +62,56 @@
 namespace f1 {
 
 /** How the executor walks the op graph. */
-enum class DispatchMode {
-    kSerial,    //!< exact program order, one op at a time
-    kWavefront, //!< topological wavefronts across the thread pool
+enum class SchedulerKind : uint8_t {
+    kSerial,       //!< topological program order, one op at a time
+    kWavefront,    //!< ready wavefronts with a barrier per round
+    kWorkStealing, //!< continuation scheduling on per-worker deques
 };
+
+/**
+ * Deprecated: historical name for SchedulerKind, kept so pre-policy
+ * call sites (setDispatchMode) compile unchanged. New code should
+ * spell SchedulerKind and pass it through ExecutionPolicy.
+ */
+using DispatchMode = SchedulerKind;
+
+/**
+ * Slot data bound to one input handle. The alternative encodes the
+ * scheme's slot type — BGV binds integer slots, CKKS binds complex
+ * slots — and whether the handle is an encrypted input (kInput) or a
+ * plaintext operand (kInputPlain) is determined by the handle's op
+ * kind, not the binding. A future third scheme (TFHE gate inputs,
+ * ROADMAP item 5) adds a variant alternative here instead of another
+ * pair of parallel maps.
+ */
+using InputBinding =
+    std::variant<std::vector<uint64_t>,               // BGV slots
+                 std::vector<std::complex<double>>>;  // CKKS slots
 
 /**
  * Per-run inputs, keyed by DSL handle. Handles without supplied data
  * get deterministic pseudo-random values drawn from `seed`; `seed`
  * also drives encryption randomness, so a run's ciphertext bits are a
- * function of (program, inputs, seed) alone.
+ * function of (program, inputs, seed) alone. Binding slot data of the
+ * wrong scheme for the executing backend fails with a diagnostic at
+ * prepare time.
  */
 struct RuntimeInputs
 {
-    std::map<int, std::vector<uint64_t>> bgvSlots;
-    std::map<int, std::vector<uint64_t>> bgvPlainSlots;
-    std::map<int, std::vector<std::complex<double>>> ckksSlots;
-    std::map<int, std::vector<std::complex<double>>> ckksPlainSlots;
+    std::map<int, InputBinding> bindings;
     uint64_t seed = 0xdada;
+
+    void
+    bind(int handle, std::vector<uint64_t> slots)
+    {
+        bindings[handle] = std::move(slots);
+    }
+
+    void
+    bind(int handle, std::vector<std::complex<double>> slots)
+    {
+        bindings[handle] = std::move(slots);
+    }
 };
 
 struct ExecutionResult
@@ -73,8 +123,9 @@ struct ExecutionResult
      *  intermediates; outputs are copied out and not counted). */
     size_t peakResidentCiphertexts = 0;
 
-    size_t wavefronts = 0;        //!< dispatch rounds executed
+    size_t wavefronts = 0;        //!< dispatch rounds (0 under WS)
     size_t maxWavefrontWidth = 0; //!< widest concurrent op set
+    size_t steals = 0; //!< ops taken from another worker's deque (WS)
 
     /** Plaintext-encoding cache traffic attributable to this run. */
     uint64_t encodingCacheHits = 0;
@@ -108,11 +159,31 @@ using EncodingCache =
     LruCache<EncodingKey, std::vector<int64_t>, EncodingKeyHash>;
 
 /**
+ * Everything that shapes one execution, in one struct — the runtime
+ * API is (program, inputs, policy), nothing hides in setter state.
+ *
+ * scheduleHints must describe the same program the executor was built
+ * for (size checked at execute()); nullptr runs hint-free with
+ * ascending-handle priority, which preserves the historical order.
+ * threadBudget caps the worker count of the work-stealing scheduler
+ * (0 = the whole pool); kSerial/kWavefront ignore it. encodingCache
+ * nullptr means encode per run.
+ */
+struct ExecutionPolicy
+{
+    SchedulerKind scheduler = SchedulerKind::kWorkStealing;
+    const ScheduleHints *scheduleHints = nullptr;
+    unsigned threadBudget = 0;
+    EncodingCache *encodingCache = nullptr;
+};
+
+/**
  * Executes one Program against a scheme backend. The graph analysis
- * (dependents, in-degrees, consumer counts) happens once at
- * construction; run() is re-entrant and holds all per-run state on
- * the stack, so distinct jobs over the same program may share one
- * executor or build their own — both are safe concurrently.
+ * (dependents, in-degrees, consumer counts, topological order, cycle
+ * rejection) happens once at construction; execute() is re-entrant
+ * and holds all per-run state on the stack, so distinct jobs over the
+ * same program may share one executor or build their own — both are
+ * safe concurrently.
  */
 class OpGraphExecutor
 {
@@ -120,13 +191,36 @@ class OpGraphExecutor
     OpGraphExecutor(const Program &prog, BgvScheme *bgv);
     OpGraphExecutor(const Program &prog, CkksScheme *ckks);
 
-    void setDispatchMode(DispatchMode mode) { mode_ = mode; }
-    DispatchMode dispatchMode() const { return mode_; }
+    /** The single entry point: runs `in` under `policy`. */
+    ExecutionResult execute(const RuntimeInputs &in = {},
+                            const ExecutionPolicy &policy = {}) const;
 
-    /** Optional shared encoding cache (nullptr = encode per run). */
-    void setEncodingCache(EncodingCache *cache) { encCache_ = cache; }
+    //
+    // Deprecated pre-policy shims. They fold into a stored
+    // ExecutionPolicy that run() forwards to execute(); the stored
+    // default keeps the historical kWavefront dispatch. New code
+    // should call execute() directly.
+    //
 
-    ExecutionResult run(const RuntimeInputs &in = {}) const;
+    /** Deprecated: use ExecutionPolicy::scheduler. */
+    void setDispatchMode(DispatchMode mode)
+    {
+        shimPolicy_.scheduler = mode;
+    }
+    /** Deprecated: reads the shim policy, not a live execution. */
+    DispatchMode dispatchMode() const { return shimPolicy_.scheduler; }
+
+    /** Deprecated: use ExecutionPolicy::encodingCache. */
+    void setEncodingCache(EncodingCache *cache)
+    {
+        shimPolicy_.encodingCache = cache;
+    }
+
+    /** Deprecated: execute() under the shim policy. */
+    ExecutionResult run(const RuntimeInputs &in = {}) const
+    {
+        return execute(in, shimPolicy_);
+    }
 
   private:
     struct RunState;
@@ -138,17 +232,23 @@ class OpGraphExecutor
     void executeOp(int h, RunState &st) const;
     void retireOp(int h, RunState &st,
                   std::vector<int> &readyOut) const;
+    void runSerial(RunState &st) const;
+    void runWavefront(RunState &st,
+                      const ExecutionPolicy &policy) const;
+    void runWorkStealing(RunState &st,
+                         const ExecutionPolicy &policy) const;
 
     const Program &prog_;
     BgvScheme *bgv_ = nullptr;
     CkksScheme *ckks_ = nullptr;
-    DispatchMode mode_ = DispatchMode::kWavefront;
-    EncodingCache *encCache_ = nullptr;
+    ExecutionPolicy shimPolicy_{SchedulerKind::kWavefront, nullptr, 0,
+                                nullptr};
 
     // Graph structure, fixed per program.
     std::vector<std::vector<int>> dependents_; //!< ct-edge successors
     std::vector<int> indegree_;  //!< ct-operand count per op
     std::vector<int> consumers_; //!< ct uses of each op's result
+    std::vector<int> topoOrder_; //!< ascending-handle Kahn order
 };
 
 } // namespace f1

@@ -104,9 +104,11 @@ ServingEngine::runJob(Job &job)
     OpGraphExecutor exec =
         bgv_ ? OpGraphExecutor(*job.req.program, bgv_)
              : OpGraphExecutor(*job.req.program, ckks_);
-    exec.setDispatchMode(cfg_.dispatch);
-    exec.setEncodingCache(&encCache_);
-    res.exec = exec.run(job.req.inputs);
+    ExecutionPolicy pol = cfg_.policy;
+    pol.encodingCache = &encCache_;
+    if (job.req.hints != nullptr)
+        pol.scheduleHints = job.req.hints;
+    res.exec = exec.execute(job.req.inputs, pol);
     res.serviceMs = steadyNowMs() - startMs;
     return res;
 }

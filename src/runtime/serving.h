@@ -51,12 +51,17 @@ struct ServingConfig
     /**
      * true (throughput mode): each worker runs its job
      * single-threaded. false (latency mode): jobs use the shared pool
-     * for wavefront/limb parallelism and contend with each other.
+     * for op/limb parallelism and contend with each other.
      */
     bool inlineIntraOp = true;
 
-    /** Dispatch mode handed to each job's executor. */
-    DispatchMode dispatch = DispatchMode::kWavefront;
+    /**
+     * Execution policy applied to every job. The engine overrides
+     * encodingCache with its shared cache, and a job carrying its own
+     * ScheduleHints (JobRequest::hints) overrides scheduleHints; the
+     * other fields pass through as-is.
+     */
+    ExecutionPolicy policy;
 };
 
 struct JobRequest
@@ -65,6 +70,11 @@ struct JobRequest
     const Program *program = nullptr;
     std::string tenant = "default";
     RuntimeInputs inputs;
+
+    /** Compiler schedule hints for this job's program (optional; must
+     *  outlive the job's future). Overrides ServingConfig's policy
+     *  hints, which can only describe one program shape. */
+    const ScheduleHints *hints = nullptr;
 };
 
 struct JobResult

@@ -7,12 +7,11 @@
  * and timed.
  *
  * Since the serving-runtime PR this is a thin wrapper over
- * runtime::OpGraphExecutor, so the reference path and the serving
- * path share one engine. The default dispatch is wavefront-parallel;
- * under F1_THREADS=1 (or DispatchMode::kSerial) results are
- * bit-identical to the historical serial loop's order, and they are
- * bit-identical across thread counts regardless (asserted by
- * tests/test_runtime.cpp).
+ * runtime::OpGraphExecutor; since the ExecutionPolicy redesign it
+ * simply accumulates RuntimeInputs and forwards a policy, and its
+ * run() returns the runtime's ExecutionResult directly (the old
+ * RefExecutionResult alias is gone). Outputs are bit-identical across
+ * schedulers and thread counts (asserted by tests/test_runtime.cpp).
  *
  * Timed-region change vs the historical loop: first-use key-switch
  * hint generation now happens in the untimed prepare phase
@@ -32,9 +31,6 @@ namespace f1 {
 
 /** Execution backends: which scheme interprets the program. */
 enum class RefScheme { kBgv, kCkks };
-
-/** Historical name; the runtime layer defines the shared type. */
-using RefExecutionResult = ExecutionResult;
 
 /**
  * Executes `prog` with the given scheme. Inputs are supplied through
@@ -60,46 +56,51 @@ class ReferenceExecutor
     void
     setInputSlots(int handle, std::vector<uint64_t> slots)
     {
-        inputs_.bgvSlots[handle] = std::move(slots);
+        inputs_.bind(handle, std::move(slots));
     }
 
     /** Provides slot data for an encrypted input handle (CKKS). */
     void
     setInputSlots(int handle, std::vector<std::complex<double>> slots)
     {
-        inputs_.ckksSlots[handle] = std::move(slots);
+        inputs_.bind(handle, std::move(slots));
     }
 
     /** Provides plaintext data for an unencrypted input handle. */
     void
     setPlainSlots(int handle, std::vector<uint64_t> slots)
     {
-        inputs_.bgvPlainSlots[handle] = std::move(slots);
+        inputs_.bind(handle, std::move(slots));
     }
 
     void
     setPlainSlots(int handle, std::vector<std::complex<double>> slots)
     {
-        inputs_.ckksPlainSlots[handle] = std::move(slots);
+        inputs_.bind(handle, std::move(slots));
     }
 
     /** Seed for default input data and encryption randomness. */
     void setSeed(uint64_t seed) { inputs_.seed = seed; }
 
-    /** kWavefront (default) or kSerial (historical op order). */
+    /** Policy for run(); defaults to ExecutionPolicy's defaults
+     *  (work-stealing, no hints, whole pool). */
+    void setPolicy(const ExecutionPolicy &policy) { policy_ = policy; }
+
+    /** Deprecated: use setPolicy(). Kept for pre-policy call sites. */
     void setDispatchMode(DispatchMode mode)
     {
-        exec_.setDispatchMode(mode);
+        policy_.scheduler = mode;
     }
 
     RefScheme scheme() const { return scheme_; }
 
-    RefExecutionResult run() { return exec_.run(inputs_); }
+    ExecutionResult run() { return exec_.execute(inputs_, policy_); }
 
   private:
     RefScheme scheme_;
     OpGraphExecutor exec_;
     RuntimeInputs inputs_;
+    ExecutionPolicy policy_;
 };
 
 } // namespace f1

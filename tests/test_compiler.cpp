@@ -145,6 +145,39 @@ TEST(CycleScheduler, ScheduleIsStructurallyValid)
     EXPECT_GT(report.eventsChecked, 1000u);
 }
 
+TEST(CycleScheduler, ScheduleHintsFollowDataflow)
+{
+    // A pure dependency chain: the static schedule must start each op
+    // strictly after its operand, so the derived runtime hints are
+    // strictly increasing along the chain.
+    Program p(4096, 8, "hint-chain");
+    int x = p.input();
+    int acc = p.mul(x, x);
+    acc = p.rotate(acc, 1);
+    acc = p.mul(acc, acc);
+    p.output(acc);
+
+    F1Config cfg;
+    auto res = compileProgram(p, cfg);
+    const ScheduleHints &h = res.hints;
+    ASSERT_EQ(h.size(), p.ops().size());
+    ASSERT_EQ(h.releaseRank.size(), p.ops().size());
+
+    // Inputs emit no instructions and carry the 0/0 default.
+    EXPECT_EQ(h.startCycle[0], 0u);
+    EXPECT_EQ(h.releaseRank[0], 0u);
+    for (size_t op = 2; op + 1 < p.ops().size(); ++op) {
+        EXPECT_GT(h.startCycle[op], h.startCycle[op - 1])
+            << "chain op " << op << " not after its operand";
+        EXPECT_GT(h.releaseRank[op], h.releaseRank[op - 1]);
+    }
+
+    // Deterministic: recompiling yields the same hints.
+    auto again = compileProgram(p, cfg);
+    EXPECT_EQ(again.hints.startCycle, h.startCycle);
+    EXPECT_EQ(again.hints.releaseRank, h.releaseRank);
+}
+
 TEST(CycleScheduler, MoreClustersNeverSlower)
 {
     Program p = matvecProgram(4096, 6, 4, 4);

@@ -1,8 +1,10 @@
 /**
  * @file
- * Serving-runtime tests: the LRU cache, the DAG wavefront executor
- * (bit-identity against serial order and across thread counts,
- * liveness-based release), and the multi-tenant serving engine
+ * Serving-runtime tests: the LRU cache, the DAG executor under all
+ * three ExecutionPolicy schedulers (bit-identity of work-stealing
+ * against serial and wavefront order across thread counts and with
+ * compiler schedule hints, liveness-based release, cycle rejection,
+ * deprecated-shim compatibility), and the multi-tenant serving engine
  * (bit-identity against isolated execution, run-to-run determinism
  * with concurrent jobs in flight, cache hit accounting, round-robin
  * fairness bookkeeping).
@@ -253,7 +255,7 @@ TEST(OpGraphExecutorTest, LivenessReleasesDeadCiphertexts)
     OpGraphExecutor exec(p, &bgv);
 
     RuntimeInputs in;
-    in.bgvSlots[0] = std::vector<uint64_t>(256, 1);
+    in.bind(0, std::vector<uint64_t>(256, 1));
     auto res = exec.run(in);
 
     // Chain: input + current accumulator + freshly produced op. The
@@ -274,7 +276,14 @@ TEST(OpGraphExecutorTest, ReferenceExecutorWrapper)
     auto res = ref.run();
     EXPECT_EQ(res.outputs.size(), 2u);
     EXPECT_GT(res.peakResidentCiphertexts, 0u);
-    EXPECT_GT(res.wavefronts, 0u);
+    // The default policy is work-stealing, which has no rounds.
+    EXPECT_EQ(res.wavefronts, 0u);
+
+    ReferenceExecutor wave(p, &bgv);
+    wave.setDispatchMode(DispatchMode::kWavefront);
+    auto rw = wave.run();
+    EXPECT_GT(rw.wavefronts, 0u);
+    expectIdenticalOutputs(res, rw);
 }
 
 TEST(OpGraphExecutorTest, HintCacheHitsOnRepeatedPrograms)
@@ -308,6 +317,226 @@ TEST(OpGraphExecutorTest, CappedHintCacheStaysCorrect)
 }
 
 //
+// ExecutionPolicy / work-stealing scheduler
+//
+
+ExecutionPolicy
+policyFor(SchedulerKind k, const ScheduleHints *hints = nullptr)
+{
+    ExecutionPolicy pol;
+    pol.scheduler = k;
+    pol.scheduleHints = hints;
+    return pol;
+}
+
+TEST(OpGraphExecutorTest, WorkStealingMatchesSerialAndWavefrontBgv)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    OpGraphExecutor exec(p, &bgv);
+    const ScheduleHints hints = compileProgram(p, F1Config{}).hints;
+    ASSERT_EQ(hints.size(), p.ops().size());
+
+    RuntimeInputs in;
+    in.seed = 29;
+    const auto serial =
+        exec.execute(in, policyFor(SchedulerKind::kSerial));
+    for (unsigned threads : {1u, 2u, 8u}) {
+        setGlobalThreadCount(threads);
+        expectIdenticalOutputs(
+            serial, exec.execute(in, policyFor(SchedulerKind::kWavefront,
+                                               &hints)));
+        expectIdenticalOutputs(
+            serial,
+            exec.execute(in, policyFor(SchedulerKind::kWorkStealing)));
+        expectIdenticalOutputs(
+            serial,
+            exec.execute(in, policyFor(SchedulerKind::kWorkStealing,
+                                       &hints)));
+    }
+    setGlobalThreadCount(0);
+}
+
+TEST(OpGraphExecutorTest, WorkStealingMatchesSerialCkks)
+{
+    FheContext ctx(smallParams());
+    CkksScheme ckks(&ctx);
+    Program p(256, 8, "ckks-ws");
+    int x = p.input();
+    int y = p.input();
+    int a = p.mul(x, y);
+    int r = p.modSwitch(a);
+    int b = p.rotate(r, 1);
+    p.output(p.add(b, r));
+
+    OpGraphExecutor exec(p, &ckks);
+    RuntimeInputs in;
+    in.seed = 31;
+    const auto serial =
+        exec.execute(in, policyFor(SchedulerKind::kSerial));
+    for (unsigned threads : {1u, 2u, 8u}) {
+        setGlobalThreadCount(threads);
+        expectIdenticalOutputs(
+            serial,
+            exec.execute(in, policyFor(SchedulerKind::kWorkStealing)));
+    }
+    setGlobalThreadCount(0);
+}
+
+TEST(OpGraphExecutorTest, HintedPriorityIsDeterministic)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    OpGraphExecutor exec(p, &bgv);
+    const ScheduleHints hints = compileProgram(p, F1Config{}).hints;
+
+    RuntimeInputs in;
+    in.seed = 37;
+    // Hints reorder the ready set (many ops tie at startCycle 0 in a
+    // shallow graph, so releaseRank and handle break the ties); the
+    // pop order must still be a deterministic total order, and the
+    // outputs must not depend on the hint-driven order at all.
+    const auto pol = policyFor(SchedulerKind::kWorkStealing, &hints);
+    const auto first = exec.execute(in, pol);
+    expectIdenticalOutputs(first, exec.execute(in, pol));
+    expectIdenticalOutputs(
+        first,
+        exec.execute(in, policyFor(SchedulerKind::kWorkStealing)));
+}
+
+TEST(OpGraphExecutorTest, ThreadBudgetCapsWorkersBitIdentically)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    OpGraphExecutor exec(p, &bgv);
+    RuntimeInputs in;
+    in.seed = 41;
+
+    setGlobalThreadCount(4);
+    ExecutionPolicy wide = policyFor(SchedulerKind::kWorkStealing);
+    ExecutionPolicy narrow = wide;
+    narrow.threadBudget = 1;
+    expectIdenticalOutputs(exec.execute(in, wide),
+                           exec.execute(in, narrow));
+    setGlobalThreadCount(0);
+}
+
+TEST(OpGraphExecutorTest, RejectsCyclicProgram)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p(256, 8, "cyclic");
+    p.pushRaw({HeOpKind::kInput, -1, -1, 0, 8});
+    // 1 and 2 feed each other: no topological order exists.
+    p.pushRaw({HeOpKind::kAdd, 0, 2, 0, 8});
+    p.pushRaw({HeOpKind::kAdd, 0, 1, 0, 8});
+    p.pushRaw({HeOpKind::kOutput, 2, -1, 0, 8});
+    try {
+        OpGraphExecutor exec(p, &bgv);
+        FAIL() << "cycle not rejected";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("cycle"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("1"), std::string::npos);
+    }
+}
+
+TEST(OpGraphExecutorTest, RejectsSelfReferenceAndBadHandle)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program self(256, 8, "self");
+    self.pushRaw({HeOpKind::kAdd, 0, 0, 0, 8});
+    EXPECT_THROW(OpGraphExecutor(self, &bgv), FatalError);
+
+    Program oob(256, 8, "oob");
+    oob.pushRaw({HeOpKind::kInput, -1, -1, 0, 8});
+    oob.pushRaw({HeOpKind::kRotate, 7, -1, 1, 8});
+    EXPECT_THROW(OpGraphExecutor(oob, &bgv), FatalError);
+}
+
+TEST(OpGraphExecutorTest, ForwardReferencesExecuteInTopoOrder)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+
+    // pushRaw program with a forward reference: the output names an
+    // op appended after it. Equivalent builder program for reference.
+    Program fwd(256, 8, "fwd");
+    fwd.pushRaw({HeOpKind::kInput, -1, -1, 0, 8});
+    fwd.pushRaw({HeOpKind::kOutput, 2, -1, 0, 8});
+    fwd.pushRaw({HeOpKind::kAdd, 0, 0, 0, 8});
+
+    Program ref(256, 8, "ref");
+    int x = ref.input();
+    ref.output(ref.add(x, x));
+
+    RuntimeInputs in;
+    in.bind(0, std::vector<uint64_t>(256, 21));
+    in.seed = 43;
+    auto rf = OpGraphExecutor(fwd, &bgv).execute(
+        in, policyFor(SchedulerKind::kSerial));
+    auto rr = OpGraphExecutor(ref, &bgv).execute(
+        in, policyFor(SchedulerKind::kSerial));
+    ASSERT_EQ(rf.outputs.size(), 1u);
+    EXPECT_EQ(bgv.decryptSlots(rf.outputs.begin()->second)[0], 42u);
+    EXPECT_EQ(ctBits(rf.outputs.begin()->second),
+              ctBits(rr.outputs.begin()->second));
+}
+
+TEST(OpGraphExecutorTest, DeprecatedShimsMatchPolicyEntryPoint)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    RuntimeInputs in;
+    in.seed = 47;
+
+    // Default shim policy is the historical wavefront dispatch.
+    OpGraphExecutor viaShim(p, &bgv);
+    EXPECT_EQ(viaShim.dispatchMode(), SchedulerKind::kWavefront);
+    OpGraphExecutor viaPolicy(p, &bgv);
+    expectIdenticalOutputs(
+        viaShim.run(in),
+        viaPolicy.execute(in, policyFor(SchedulerKind::kWavefront)));
+
+    viaShim.setDispatchMode(DispatchMode::kSerial);
+    expectIdenticalOutputs(
+        viaShim.run(in),
+        viaPolicy.execute(in, policyFor(SchedulerKind::kSerial)));
+}
+
+TEST(OpGraphExecutorTest, MismatchedBindingSchemeThrows)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = chainProgram();
+    OpGraphExecutor exec(p, &bgv);
+    RuntimeInputs in;
+    in.bind(0, std::vector<std::complex<double>>(128));
+    EXPECT_THROW(exec.execute(in), FatalError);
+}
+
+TEST(OpGraphExecutorTest, HintSizeMismatchThrows)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    OpGraphExecutor exec(p, &bgv);
+    ScheduleHints wrong;
+    wrong.startCycle.assign(3, 0);
+    wrong.releaseRank.assign(3, 0);
+    EXPECT_THROW(
+        exec.execute({}, policyFor(SchedulerKind::kWorkStealing,
+                                   &wrong)),
+        FatalError);
+}
+
+//
 // Serving engine
 //
 
@@ -329,7 +558,7 @@ TEST(ServingEngineTest, JobsMatchIsolatedExecutionAndRepeat)
         req.tenant = tenants[i % tenants.size()];
         req.inputs.seed = 100 + i;
         if (i % 2 == 0) // the diamond's model weights, shared by all
-            req.inputs.bgvPlainSlots[2] = sharedWeights;
+            req.inputs.bind(2, sharedWeights);
         return req;
     };
     const size_t kJobs = 12;
@@ -398,6 +627,37 @@ TEST(ServingEngineTest, CkksJobsAndDrain)
     again.inputs.seed = 40;
     auto r = engine.submit(std::move(again)).get();
     expectIdenticalOutputs(r0.exec, r.exec);
+}
+
+TEST(ServingEngineTest, WorkStealingPolicyWithPerJobHints)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    const ScheduleHints hints = compileProgram(p, F1Config{}).hints;
+
+    // Isolated serial reference.
+    RuntimeInputs in;
+    in.seed = 53;
+    OpGraphExecutor ref(p, &bgv);
+    ExecutionPolicy serial;
+    serial.scheduler = SchedulerKind::kSerial;
+    const auto isolated = ref.execute(in, serial);
+
+    ServingConfig cfg;
+    cfg.workers = 2;
+    cfg.policy.scheduler = SchedulerKind::kWorkStealing;
+    ServingEngine engine(&bgv, cfg);
+    std::vector<std::future<JobResult>> futs;
+    for (int i = 0; i < 4; ++i) {
+        JobRequest req;
+        req.program = &p;
+        req.inputs.seed = 53;
+        req.hints = &hints; // per-job hints for this program shape
+        futs.push_back(engine.submit(std::move(req)));
+    }
+    for (auto &f : futs)
+        expectIdenticalOutputs(isolated, f.get().exec);
 }
 
 TEST(ServingEngineTest, RejectsJobWithoutProgram)
