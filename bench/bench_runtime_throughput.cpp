@@ -10,7 +10,17 @@
  * A second section compares the three ExecutionPolicy schedulers
  * (serial, wavefront, work stealing with compiler schedule hints) on
  * a deep imbalanced DAG built to starve the wavefront barrier, and
- * emits per-scheduler p50/p95 execute latency.
+ * emits per-scheduler p50/p95 execute latency. These runs have
+ * telemetry OFF — their numbers are the trajectory CI compares across
+ * PRs to hold the "disabled telemetry costs <1%" contract.
+ *
+ * A third section re-runs the work-stealing config with full
+ * telemetry (per-op trace + execution profile), writes the trace to
+ * TRACE_scheduler.json (Perfetto-loadable; uploaded as a CI
+ * artifact), validates it in-process (span count == executed ops,
+ * exit 4 on mismatch), embeds the profile and a metrics-registry
+ * snapshot in the JSON, and in full mode gates the telemetry-ON
+ * overhead (exit 5 if p50 exceeds 1.5x the off p50 at >= 4 threads).
  *
  * Every run is checked bit-for-bit against the serial baseline: a
  * throughput number from diverging ciphertexts is a correctness
@@ -26,7 +36,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -34,6 +46,7 @@
 #include "common/parallel.h"
 #include "common/time_util.h"
 #include "compiler/compiler.h"
+#include "obs/metrics.h"
 #include "runtime/op_graph_executor.h"
 #include "runtime/serving.h"
 
@@ -270,6 +283,15 @@ run(bool smoke)
         {"wavefront", SchedulerKind::kWavefront},
         {"work_stealing", SchedulerKind::kWorkStealing},
     };
+    // --- Telemetry: the work-stealing config again with full
+    // telemetry on. The last rep's trace is exported for Perfetto and
+    // validated in-process; bit-identity against the baseline proves
+    // telemetry never perturbs results.
+    double telemOnP50 = 0;
+    size_t traceSpans = 0, traceOps = 0, traceLanes = 0;
+    uint64_t traceDropped = 0;
+    bool traceValid = true;
+    std::string profileJson = "{}";
     {
         OpGraphExecutor exec(dag, &bgv);
         RuntimeInputs in;
@@ -292,6 +314,35 @@ run(bool smoke)
             row.p50Ms = percentile(lat, 0.50);
             row.p95Ms = percentile(lat, 0.95);
             allIdentical = allIdentical && row.bitIdentical;
+        }
+
+        ExecutionPolicy pol;
+        pol.scheduler = SchedulerKind::kWorkStealing;
+        pol.scheduleHints = &dagHints;
+        pol.telemetry.profile = true;
+        pol.telemetry.trace = true;
+        pol.telemetry.label = "bench-scheduler";
+        std::vector<double> lat(reps);
+        ExecutionResult last;
+        for (int r = 0; r < reps; ++r) {
+            last = exec.execute(in, pol);
+            lat[r] = last.wallMs;
+            allIdentical =
+                allIdentical && outputsHash(last) == want;
+        }
+        telemOnP50 = percentile(lat, 0.50);
+        if (last.trace && last.profile) {
+            traceSpans = last.trace->spanCount();
+            traceOps = last.opsExecuted;
+            traceLanes = last.trace->laneCount();
+            traceDropped = last.trace->droppedEvents();
+            traceValid =
+                traceSpans == traceOps && traceDropped == 0;
+            profileJson = last.profile->toJson();
+            std::ofstream f("TRACE_scheduler.json");
+            last.trace->writeJson(f);
+        } else {
+            traceValid = false;
         }
     }
 
@@ -339,14 +390,39 @@ run(bool smoke)
     printf("    ],\n");
     printf("    \"ws_vs_wavefront_p95\": %.3f\n  },\n",
            sched[1].p95Ms > 0 ? sched[2].p95Ms / sched[1].p95Ms : 0.0);
+    printf("  \"telemetry\": {\n");
+    printf("    \"scheduler\": \"work_stealing\", \"off_p50_ms\": "
+           "%.3f, \"on_p50_ms\": %.3f, \"on_overhead\": %.3f,\n",
+           sched[2].p50Ms, telemOnP50,
+           sched[2].p50Ms > 0 ? telemOnP50 / sched[2].p50Ms : 0.0);
+    printf("    \"trace_file\": \"TRACE_scheduler.json\", "
+           "\"trace_spans\": %zu, \"ops_executed\": %zu, "
+           "\"trace_lanes\": %zu, \"trace_dropped\": %llu, "
+           "\"trace_valid\": %s,\n",
+           traceSpans, traceOps, traceLanes,
+           (unsigned long long)traceDropped,
+           traceValid ? "true" : "false");
+    printf("    \"profile\": %s\n  },\n", profileJson.c_str());
     printf("  \"hint_cache\": {\"hits\": %llu, \"misses\": %llu, "
-           "\"evictions\": %llu}\n}\n",
+           "\"evictions\": %llu},\n",
            (unsigned long long)hintStats.hits,
            (unsigned long long)hintStats.misses,
            (unsigned long long)hintStats.evictions);
+    printf("  \"metrics\": %s\n}\n",
+           obs::MetricsRegistry::global().snapshot().toJson().c_str());
 
     if (!allIdentical)
         return 1;
+    // Trace integrity is a correctness gate in both modes: one span
+    // per executed op, nothing dropped at this scale.
+    if (!traceValid) {
+        fprintf(stderr,
+                "FAIL: trace invalid (%zu spans vs %zu ops, %llu "
+                "dropped)\n",
+                traceSpans, traceOps,
+                (unsigned long long)traceDropped);
+        return 4;
+    }
     if (!smoke) {
         // Acceptance gate: >= 2x jobs/sec over back-to-back serial at
         // >= 4 workers on an independent-job batch.
@@ -369,6 +445,18 @@ run(bool smoke)
                     "%.3f ms (< 10%% improvement)\n",
                     sched[2].p95Ms, sched[1].p95Ms);
             return 3;
+        }
+        // Telemetry sanity gate: full tracing + profiling must stay
+        // cheap (two clock reads and one ring store per op). The off
+        // path is gated structurally (TLS null checks only) and by
+        // the scheduler-latency trajectory above.
+        if (hw >= 4 && sched[2].p50Ms > 0 &&
+            telemOnP50 > 1.5 * sched[2].p50Ms) {
+            fprintf(stderr,
+                    "FAIL: telemetry-on p50 %.3f ms vs off %.3f ms "
+                    "(> 1.5x)\n",
+                    telemOnP50, sched[2].p50Ms);
+            return 5;
         }
     }
     return 0;

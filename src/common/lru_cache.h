@@ -19,6 +19,13 @@
  * than once; the first insert wins (put() semantics), which is safe
  * because every factory here is deterministic per key, so the racing
  * values are identical.
+ *
+ * Observability: a cache constructed with a name registers its
+ * hit/miss/eviction counters as gauges in the metrics registry
+ * ("cache.<name>.hits" etc.); same-name instances are SUMMED at
+ * snapshot, so per-instance stats() stays exact (tests rely on that)
+ * while the registry aggregates fleet-wide. Hits and misses also feed
+ * the active profile collector for per-job attribution.
  */
 #ifndef F1_COMMON_LRU_CACHE_H
 #define F1_COMMON_LRU_CACHE_H
@@ -27,8 +34,12 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace f1 {
 
@@ -52,8 +63,29 @@ template <typename K, typename V, typename Hash = std::hash<K>>
 class LruCache
 {
   public:
-    /** @param capacity max entries; 0 = unbounded (never evicts). */
-    explicit LruCache(size_t capacity = 0) : capacity_(capacity) {}
+    /**
+     * @param capacity max entries; 0 = unbounded (never evicts).
+     * @param name     non-empty registers this instance's counters as
+     *                 "cache.<name>.{hits,misses,evictions,size}"
+     *                 gauges in the global metrics registry.
+     */
+    explicit LruCache(size_t capacity = 0, const std::string &name = {})
+        : capacity_(capacity)
+    {
+        if (!name.empty()) {
+            auto &reg = obs::MetricsRegistry::global();
+            gauges_[0] = reg.gauge("cache." + name + ".hits",
+                                   [this] { return stats().hits; });
+            gauges_[1] = reg.gauge("cache." + name + ".misses",
+                                   [this] { return stats().misses; });
+            gauges_[2] =
+                reg.gauge("cache." + name + ".evictions",
+                          [this] { return stats().evictions; });
+            gauges_[3] = reg.gauge("cache." + name + ".size", [this] {
+                return static_cast<uint64_t>(size());
+            });
+        }
+    }
 
     LruCache(const LruCache &) = delete;
     LruCache &operator=(const LruCache &) = delete;
@@ -66,9 +98,11 @@ class LruCache
         auto it = map_.find(key);
         if (it == map_.end()) {
             ++stats_.misses;
+            obs::profileAdd(obs::ProfileCounter::kCacheMiss);
             return nullptr;
         }
         ++stats_.hits;
+        obs::profileAdd(obs::ProfileCounter::kCacheHit);
         touch(it);
         return it->second.value;
     }
@@ -116,10 +150,12 @@ class LruCache
             auto it = map_.find(key);
             if (it != map_.end()) {
                 ++stats_.hits;
+                obs::profileAdd(obs::ProfileCounter::kCacheHit);
                 touch(it);
                 return it->second.value;
             }
             ++stats_.misses;
+            obs::profileAdd(obs::ProfileCounter::kCacheMiss);
         }
         return putShared(key, std::make_shared<const V>(make()));
     }
@@ -142,6 +178,8 @@ class LruCache
         evictOverflow();
     }
 
+    /** Deprecated as an aggregation point: per-instance shim; prefer
+     *  the registry's "cache.<name>.*" gauges for fleet-wide totals. */
     CacheStats
     stats() const
     {
@@ -188,6 +226,12 @@ class LruCache
     std::list<K> lru_; //!< front = most recently used
     Map map_;
     CacheStats stats_;
+
+    // Declared LAST so they unregister FIRST during destruction:
+    // snapshot() holds the registry lock while evaluating gauges, and
+    // ~GaugeHandle takes that lock, so after these members are gone
+    // no snapshot can reach the dying cache.
+    obs::GaugeHandle gauges_[4];
 };
 
 } // namespace f1

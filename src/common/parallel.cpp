@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "common/error.h"
+#include "obs/profile.h"
 
 namespace f1 {
 
@@ -40,10 +41,20 @@ struct ThreadPool::State
     unsigned active = 0; //!< workers still draining the current batch
     std::exception_ptr error;
 
+    /**
+     * The dispatching thread's profile collector, inherited by every
+     * worker for the batch's duration so per-limb work nested inside
+     * a profiled job is attributed to that job even on pool threads
+     * (see obs/profile.h). One TLS store per batch when profiling is
+     * off — not per iteration.
+     */
+    obs::ProfileCollector *collector = nullptr;
+
     /** Claims indices until the range drains; records one exception. */
     void
     drain()
     {
+        obs::ProfileScope profScope(collector);
         const auto &fn = *body;
         for (;;) {
             const size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -130,6 +141,7 @@ ThreadPool::run(size_t begin, size_t end,
         st.end = end;
         st.active = static_cast<unsigned>(workers_.size());
         st.error = nullptr;
+        st.collector = obs::profileCollector();
         ++st.generation;
     }
     st.cvStart.notify_all();

@@ -1,10 +1,11 @@
 #include "common/scratch.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace f1 {
 
@@ -22,10 +23,32 @@ struct ThreadCache
 
 thread_local ThreadCache t_cache;
 
-std::atomic<uint64_t> g_checkouts{0};
-std::atomic<uint64_t> g_heapAllocs{0};
-std::atomic<uint64_t> g_heapWords{0};
-std::atomic<uint64_t> g_live{0};
+/**
+ * The arena's process-wide counters now live in the metrics registry
+ * ("scratch.*" — see README's metrics catalog); ScratchArena::stats()
+ * is a thin shim reading them back. Resolved once: an increment is
+ * the same relaxed fetch_add the old bespoke atomics cost.
+ */
+struct ScratchCounters
+{
+    obs::Counter &checkouts;
+    obs::Counter &heapAllocs;
+    obs::Counter &heapWords;
+    obs::Counter &live;
+
+    static ScratchCounters &
+    get()
+    {
+        static ScratchCounters c{
+            obs::MetricsRegistry::global().counter("scratch.checkouts"),
+            obs::MetricsRegistry::global().counter(
+                "scratch.heap_allocs"),
+            obs::MetricsRegistry::global().counter("scratch.heap_words"),
+            obs::MetricsRegistry::global().counter("scratch.live"),
+        };
+        return c;
+    }
+};
 
 /** Capacities are rounded to powers of two so the handful of distinct
  *  request sizes per workload (n, limb×n, l) converge on a small set
@@ -46,8 +69,9 @@ namespace detail {
 ScratchBlock *
 scratchAcquire(size_t words)
 {
-    g_checkouts.fetch_add(1, std::memory_order_relaxed);
-    g_live.fetch_add(1, std::memory_order_relaxed);
+    ScratchCounters &ctr = ScratchCounters::get();
+    ctr.checkouts.inc();
+    ctr.live.inc();
 
     // Best fit among free blocks: smallest capacity that still holds
     // the request, so an n-sized checkout does not pin a limb×n block.
@@ -63,10 +87,15 @@ scratchAcquire(size_t words)
         fresh->words.resize(cap);
         best = fresh.get();
         t_cache.blocks.push_back(std::move(fresh));
-        g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
-        g_heapWords.fetch_add(cap, std::memory_order_relaxed);
+        ctr.heapAllocs.inc();
+        ctr.heapWords.inc(cap);
     }
     best->inUse = true;
+    // Per-job scratch high-water: attributed to the active profile
+    // collector (if any) by block capacity, the footprint that
+    // actually bounds memory.
+    obs::profileScratchAcquire(
+        static_cast<int64_t>(best->words.size()));
     return best;
 }
 
@@ -74,7 +103,9 @@ void
 scratchRelease(ScratchBlock *block)
 {
     block->inUse = false;
-    g_live.fetch_sub(1, std::memory_order_relaxed);
+    obs::profileScratchRelease(
+        static_cast<int64_t>(block->words.size()));
+    ScratchCounters::get().live.dec();
 }
 
 } // namespace detail
@@ -102,18 +133,18 @@ ScratchArena::i64(size_t count, bool zeroed)
 ScratchArena::Stats
 ScratchArena::stats()
 {
-    return {g_checkouts.load(std::memory_order_relaxed),
-            g_heapAllocs.load(std::memory_order_relaxed),
-            g_heapWords.load(std::memory_order_relaxed),
-            g_live.load(std::memory_order_relaxed)};
+    ScratchCounters &ctr = ScratchCounters::get();
+    return {ctr.checkouts.value(), ctr.heapAllocs.value(),
+            ctr.heapWords.value(), ctr.live.value()};
 }
 
 void
 ScratchArena::resetStats()
 {
-    g_checkouts.store(0, std::memory_order_relaxed);
-    g_heapAllocs.store(0, std::memory_order_relaxed);
-    g_heapWords.store(0, std::memory_order_relaxed);
+    ScratchCounters &ctr = ScratchCounters::get();
+    ctr.checkouts.store(0);
+    ctr.heapAllocs.store(0);
+    ctr.heapWords.store(0);
 }
 
 void

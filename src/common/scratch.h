@@ -25,8 +25,12 @@
  *  - Handles may be moved (e.g. returned from a helper) but not
  *    copied; moving does not change the owning thread.
  *
- * Stats are process-wide atomics so benchmarks can assert the
- * steady-state contract (see bench_ntt_lazy and tests/test_scratch).
+ * Stats live in the process-wide metrics registry ("scratch.*"
+ * counters, obs/metrics.h) so benchmarks and the serving layer read
+ * them alongside every other metric; ScratchArena::stats() remains as
+ * a thin shim (see bench_ntt_lazy and tests/test_scratch). When a
+ * profile collector is installed (obs/profile.h), checkouts also feed
+ * the per-job scratch high-water mark.
  */
 #ifndef F1_COMMON_SCRATCH_H
 #define F1_COMMON_SCRATCH_H
@@ -136,6 +140,8 @@ class ScratchArena
     static Handle<uint32_t> u32(size_t count, bool zeroed = false);
     static Handle<int64_t> i64(size_t count, bool zeroed = false);
 
+    /** Deprecated shim over the metrics registry's "scratch.*"
+     *  counters; prefer MetricsRegistry::global().snapshot(). */
     static Stats stats();
     static void resetStats(); //!< zeroes counters except live
 

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "common/scratch.h"
 #include "modular/modarith.h"
+#include "obs/profile.h"
 
 namespace f1 {
 
@@ -59,6 +60,7 @@ BasisExtender::extend(std::span<const uint32_t> in, size_t n,
     const size_t tcount = target_.size();
     F1_CHECK(in.size() == l * n, "bad input size");
     F1_CHECK(out.size() == tcount * n, "bad output size");
+    obs::profileAdd(obs::ProfileCounter::kBasisExtend);
 
     // Every coefficient column is independent, so the conversion
     // parallelizes over contiguous coefficient blocks (the per-limb

@@ -28,7 +28,7 @@ BgvScheme::BgvScheme(const FheContext *ctx, uint64_t t,
     : ctx_(ctx), t_(t == 0 ? ctx->plainModulus() : t), variant_(variant),
       seed_(seed), encoder_(ctx, t_ == 0 ? ctx->plainModulus() : t_),
       switcher_(ctx), rng_(seed), sk_(switcher_.keyGen(rng_)),
-      sSquared_(sk_.s.mul(sk_.s))
+      sSquared_(sk_.s.mul(sk_.s)), hints_(0, "bgv_hints")
 {
 }
 

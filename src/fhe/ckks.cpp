@@ -10,7 +10,7 @@ CkksScheme::CkksScheme(const FheContext *ctx, KeySwitchVariant variant,
                        uint64_t seed)
     : ctx_(ctx), variant_(variant), seed_(seed), encoder_(ctx),
       switcher_(ctx), rng_(seed), sk_(switcher_.keyGen(rng_)),
-      sSquared_(sk_.s.mul(sk_.s))
+      sSquared_(sk_.s.mul(sk_.s)), hints_(0, "ckks_hints")
 {
 }
 

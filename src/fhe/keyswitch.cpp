@@ -5,6 +5,7 @@
 #include "common/scratch.h"
 #include "fhe/basis_extend.h"
 #include "modular/modarith.h"
+#include "obs/profile.h"
 
 namespace f1 {
 
@@ -158,6 +159,7 @@ KeySwitcher::apply(const RnsPoly &x, const KeySwitchHint &hint,
     F1_CHECK(x.domain() == Domain::kNtt, "key-switch input must be NTT");
     F1_CHECK(x.levels() == hint.level, "hint level mismatch: x has "
              << x.levels() << ", hint serves " << hint.level);
+    obs::profileAdd(obs::ProfileCounter::kKeySwitchApply);
     if (hint.variant == KeySwitchVariant::kDigitLxL)
         return applyDigitScaled(x, hint, errorScale);
     return applyGhs(x, hint, errorScale);

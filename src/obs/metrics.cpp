@@ -1,0 +1,276 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace f1::obs {
+
+namespace {
+
+constexpr double kLatencyBucketsMs[] = {
+    0.01, 0.02, 0.05, 0.1,  0.25, 0.5,  1.0,    2.5,   5.0,    10.0,
+    25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+
+/** JSON numbers must not be NaN/inf; clamp defensively. */
+void
+appendJsonNumber(std::ostringstream &os, double v)
+{
+    if (!std::isfinite(v))
+        v = 0;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    os << buf;
+}
+
+void
+appendJsonString(std::ostringstream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+std::span<const double>
+defaultLatencyBucketsMs()
+{
+    return kLatencyBucketsMs;
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    const auto want = static_cast<uint64_t>(
+        q * static_cast<double>(count - 1));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+        seen += counts[b];
+        if (seen > want)
+            return b < bounds.size()
+                       ? bounds[b]
+                       : (bounds.empty() ? 0 : bounds.back());
+    }
+    return bounds.empty() ? 0 : bounds.back();
+}
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      counts_(bounds.size() + 1)
+{
+    F1_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bucket bounds must be ascending");
+}
+
+void
+Histogram::observe(double value)
+{
+    const size_t b = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    const double micro = value * 1e6;
+    sumMicro_.fetch_add(
+        micro > 0 ? static_cast<uint64_t>(std::llround(micro)) : 0,
+        std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot s;
+    s.bounds = bounds_;
+    s.counts.reserve(counts_.size());
+    for (const auto &c : counts_)
+        s.counts.push_back(c.load(std::memory_order_relaxed));
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum =
+        static_cast<double>(sumMicro_.load(std::memory_order_relaxed)) /
+        1e6;
+    return s;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sumMicro_.store(0, std::memory_order_relaxed);
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"counters\": {";
+    bool first = true;
+    for (const auto &[name, v] : counters) {
+        if (!first)
+            os << ", ";
+        first = false;
+        appendJsonString(os, name);
+        os << ": " << v;
+    }
+    os << "}, \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        if (!first)
+            os << ", ";
+        first = false;
+        appendJsonString(os, name);
+        os << ": {\"count\": " << h.count << ", \"sum_ms\": ";
+        appendJsonNumber(os, h.sum);
+        os << ", \"p50_ms\": ";
+        appendJsonNumber(os, h.quantile(0.50));
+        os << ", \"p95_ms\": ";
+        appendJsonNumber(os, h.quantile(0.95));
+        os << ", \"bounds_ms\": [";
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+            if (i)
+                os << ", ";
+            appendJsonNumber(os, h.bounds[i]);
+        }
+        os << "], \"counts\": [";
+        for (size_t i = 0; i < h.counts.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << h.counts[i];
+        }
+        os << "]}";
+    }
+    os << "}}";
+    return os.str();
+}
+
+GaugeHandle::GaugeHandle(GaugeHandle &&o) noexcept
+    : reg_(o.reg_), id_(o.id_)
+{
+    o.reg_ = nullptr;
+    o.id_ = 0;
+}
+
+GaugeHandle &
+GaugeHandle::operator=(GaugeHandle &&o) noexcept
+{
+    if (this != &o) {
+        if (reg_)
+            reg_->unregisterGauge(id_);
+        reg_ = o.reg_;
+        id_ = o.id_;
+        o.reg_ = nullptr;
+        o.id_ = 0;
+    }
+    return *this;
+}
+
+GaugeHandle::~GaugeHandle()
+{
+    if (reg_)
+        reg_->unregisterGauge(id_);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Intentionally leaked: hot paths cache Counter references in
+    // function-local statics, which must stay valid through static
+    // destruction of arbitrary other objects.
+    static MetricsRegistry *reg = new MetricsRegistry;
+    return *reg;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(name, std::make_unique<Counter>())
+                 .first;
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::span<const double> bounds)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(name, std::make_unique<Histogram>(
+                                    bounds.empty()
+                                        ? defaultLatencyBucketsMs()
+                                        : bounds))
+                 .first;
+    }
+    return *it->second;
+}
+
+GaugeHandle
+MetricsRegistry::gauge(const std::string &name,
+                       std::function<uint64_t()> fn)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    const uint64_t id = nextGaugeId_++;
+    gauges_.emplace(id, Gauge{name, std::move(fn)});
+    return GaugeHandle(this, id);
+}
+
+void
+MetricsRegistry::unregisterGauge(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    gauges_.erase(id);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    // Gauges are evaluated under the registry lock: GaugeHandle
+    // destruction takes the same lock, so a gauge's captures cannot
+    // die mid-snapshot.
+    std::lock_guard<std::mutex> lock(m_);
+    MetricsSnapshot s;
+    for (const auto &[name, c] : counters_)
+        s.counters[name] = c->value();
+    for (const auto &[id, g] : gauges_)
+        s.counters[g.name] += g.fn();
+    for (const auto &[name, h] : histograms_)
+        s.histograms[name] = h->snapshot();
+    return s;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (auto &[name, c] : counters_)
+        c->store(0);
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace f1::obs

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, fixed-bucket latency
+ * histograms, and callback gauges, snapshotable to JSON.
+ *
+ * The F1 paper's evaluation (Figs. 9-10) is built on per-structure
+ * utilization and cycle breakdowns; this registry is the software
+ * analogue — one place every hot-path counter in the system reports
+ * to, replacing the bespoke stats structs that used to be scattered
+ * across ScratchArena, LruCache, OpGraphExecutor, and ServingEngine
+ * (their old accessors remain as thin shims over this registry or
+ * over instance-local counters that also register here as gauges).
+ *
+ * Cost model (the "zero overhead when off" contract):
+ *  - Counter::inc is one relaxed atomic fetch_add — the same cost as
+ *    the bespoke atomics it replaced. Hot paths resolve the Counter
+ *    reference once (function-local static or member), so the name
+ *    lookup mutex is off the hot path entirely.
+ *  - Histogram::observe is a branch-free bucket search over <= 32
+ *    bounds plus two relaxed adds; it sits on per-job paths (one call
+ *    per job), never per-op or per-limb paths.
+ *  - snapshot() locks the registry and evaluates gauges; it is a
+ *    cold-path export for benches, tests, and serving dashboards.
+ *
+ * Gauges exist for components whose counters must stay exact
+ * per-instance (the LRU caches: tests assert per-scheme hit counts):
+ * the instance keeps its own counters and registers a callback; the
+ * snapshot SUMS same-name gauges, so N scheme instances aggregate
+ * under one metric name without sharing state.
+ */
+#ifndef F1_OBS_METRICS_H
+#define F1_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace f1::obs {
+
+/** Monotonic (or gauge-style inc/dec) relaxed-atomic counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    void
+    inc(uint64_t d = 1)
+    {
+        v_.fetch_add(d, std::memory_order_relaxed);
+    }
+    void
+    dec(uint64_t d = 1)
+    {
+        v_.fetch_sub(d, std::memory_order_relaxed);
+    }
+    uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    /** For shim-level resets (e.g. ScratchArena::resetStats). */
+    void
+    store(uint64_t v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+struct HistogramSnapshot
+{
+    std::vector<double> bounds;   //!< bucket upper bounds, ascending
+    std::vector<uint64_t> counts; //!< bounds.size() + 1 (overflow last)
+    uint64_t count = 0;
+    double sum = 0;
+
+    /** Bucket-resolution quantile estimate (upper bound of the bucket
+     *  containing the q-quantile observation); +inf bucket reports the
+     *  largest finite bound. */
+    double quantile(double q) const;
+};
+
+/**
+ * Fixed-bucket histogram. Bucket bounds are immutable after
+ * construction; observe() is lock-free (relaxed atomics). The sum is
+ * accumulated in integer microunits (value * 1e6) to stay portable
+ * across atomic<double> support levels.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::span<const double> bounds);
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    void observe(double value);
+    HistogramSnapshot snapshot() const;
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<uint64_t>> counts_; //!< + overflow bucket
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sumMicro_{0};
+};
+
+/** Default latency buckets (milliseconds), 10us .. 10s. */
+std::span<const double> defaultLatencyBucketsMs();
+
+struct MetricsSnapshot
+{
+    /** Counters plus evaluated gauges (same-name gauges summed). */
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    /** One JSON object: {"counters": {...}, "histograms": {...}}.
+     *  Keys are sorted, so the output is deterministic. */
+    std::string toJson() const;
+};
+
+class MetricsRegistry;
+
+/**
+ * RAII registration of a gauge callback; unregisters on destruction.
+ * Destruction blocks until any in-flight snapshot() finishes, so a
+ * gauge's captures stay valid for exactly the handle's lifetime.
+ */
+class GaugeHandle
+{
+  public:
+    GaugeHandle() = default;
+    GaugeHandle(GaugeHandle &&o) noexcept;
+    GaugeHandle &operator=(GaugeHandle &&o) noexcept;
+    GaugeHandle(const GaugeHandle &) = delete;
+    GaugeHandle &operator=(const GaugeHandle &) = delete;
+    ~GaugeHandle();
+
+  private:
+    friend class MetricsRegistry;
+    GaugeHandle(MetricsRegistry *reg, uint64_t id)
+        : reg_(reg), id_(id)
+    {
+    }
+    MetricsRegistry *reg_ = nullptr;
+    uint64_t id_ = 0;
+};
+
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry (never destroyed, so counters
+     *  resolved into function-local statics stay valid at exit). */
+    static MetricsRegistry &global();
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * Returns the counter registered under `name`, creating it on
+     * first use. The reference stays valid for the registry's
+     * lifetime; resolve once, increment forever.
+     */
+    Counter &counter(const std::string &name);
+
+    /**
+     * Returns the histogram registered under `name`, creating it with
+     * `bounds` (default: defaultLatencyBucketsMs) on first use. Bounds
+     * of an existing histogram are not changed.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::span<const double> bounds = {});
+
+    /** Registers a gauge callback summed into `name` at snapshot. */
+    [[nodiscard]] GaugeHandle
+    gauge(const std::string &name, std::function<uint64_t()> fn);
+
+    MetricsSnapshot snapshot() const;
+
+    /** Zeroes every counter and histogram (gauges are callbacks and
+     *  keep their instance state). For tests and bench epochs. */
+    void reset();
+
+  private:
+    friend class GaugeHandle;
+    void unregisterGauge(uint64_t id);
+
+    mutable std::mutex m_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    struct Gauge
+    {
+        std::string name;
+        std::function<uint64_t()> fn;
+    };
+    std::map<uint64_t, Gauge> gauges_;
+    uint64_t nextGaugeId_ = 1;
+};
+
+} // namespace f1::obs
+
+#endif // F1_OBS_METRICS_H

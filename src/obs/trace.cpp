@@ -1,0 +1,192 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace f1::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_nextTracerId{1};
+
+/**
+ * Per-thread lane cache. The tracer id (not just the pointer) is
+ * checked: a new Tracer allocated at a dead tracer's address must not
+ * hit the stale cache and write into a freed lane.
+ */
+struct LaneCache
+{
+    uint64_t tracerId = 0;
+    void *lane = nullptr;
+};
+thread_local LaneCache t_laneCache;
+
+int64_t
+steadyNowNsRaw()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+const char *
+instantName(TraceEventKind k)
+{
+    return k == TraceEventKind::kSteal ? "steal" : "release";
+}
+
+/** The label is the only free-form string in the export. */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tracer::Tracer(size_t laneCapacity, std::string label)
+    : laneCapacity_(std::max<size_t>(laneCapacity, 16)),
+      id_(g_nextTracerId.fetch_add(1, std::memory_order_relaxed)),
+      label_(std::move(label)), epochNs_(steadyNowNsRaw())
+{
+}
+
+int64_t
+Tracer::nowNs() const
+{
+    return steadyNowNsRaw() - epochNs_;
+}
+
+Tracer::Lane &
+Tracer::lane()
+{
+    if (t_laneCache.tracerId == id_)
+        return *static_cast<Lane *>(t_laneCache.lane);
+    std::lock_guard<std::mutex> lock(lanesMutex_);
+    lanes_.push_back(std::make_unique<Lane>());
+    Lane *l = lanes_.back().get();
+    l->ring.resize(laneCapacity_);
+    t_laneCache = {id_, l};
+    return *l;
+}
+
+void
+Tracer::span(const char *name, int32_t handle, int64_t tsNs,
+             int64_t durNs, int64_t predictedCycle)
+{
+    Lane &l = lane();
+    TraceEvent &e = l.ring[l.head];
+    e.tsNs = tsNs;
+    e.durNs = durNs;
+    e.predictedCycle = predictedCycle;
+    e.name = name;
+    e.handle = handle;
+    e.kind = TraceEventKind::kOpSpan;
+    l.head = (l.head + 1) % laneCapacity_;
+    ++l.written;
+}
+
+void
+Tracer::instant(TraceEventKind kind, int32_t handle, int64_t tsNs)
+{
+    Lane &l = lane();
+    TraceEvent &e = l.ring[l.head];
+    e.tsNs = tsNs;
+    e.durNs = 0;
+    e.predictedCycle = -1;
+    e.name = instantName(kind);
+    e.handle = handle;
+    e.kind = kind;
+    l.head = (l.head + 1) % laneCapacity_;
+    ++l.written;
+}
+
+Trace
+Tracer::finish()
+{
+    std::lock_guard<std::mutex> lock(lanesMutex_);
+    Trace t;
+    t.label_ = label_;
+    t.lanes_ = lanes_.size();
+    for (size_t li = 0; li < lanes_.size(); ++li) {
+        Lane &l = *lanes_[li];
+        const size_t kept = std::min<uint64_t>(l.written, laneCapacity_);
+        t.dropped_ += l.written - kept;
+        // Oldest-first: a full ring starts at head (the next victim).
+        const size_t start =
+            l.written >= laneCapacity_ ? l.head : 0;
+        for (size_t k = 0; k < kept; ++k) {
+            TraceEvent e = l.ring[(start + k) % laneCapacity_];
+            e.lane = static_cast<uint16_t>(li);
+            if (e.kind == TraceEventKind::kOpSpan)
+                ++t.spans_;
+            t.events_.push_back(e);
+        }
+    }
+    std::stable_sort(t.events_.begin(), t.events_.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.tsNs < b.tsNs;
+                     });
+    return t;
+}
+
+void
+Trace::writeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\": \"ms\", \"otherData\": {\"label\": \""
+       << escapeJson(label_) << "\", \"dropped_events\": " << dropped_
+       << ", \"lanes\": " << lanes_ << "},\n\"traceEvents\": [\n";
+    bool first = true;
+    for (const TraceEvent &e : events_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        const double tsUs = static_cast<double>(e.tsNs) / 1000.0;
+        if (e.kind == TraceEventKind::kOpSpan) {
+            const double durUs = static_cast<double>(e.durNs) / 1000.0;
+            os << "  {\"name\": \"" << (e.name ? e.name : "op")
+               << "\", \"cat\": \"op\", \"ph\": \"X\", \"ts\": " << tsUs
+               << ", \"dur\": " << durUs << ", \"pid\": 0, \"tid\": "
+               << e.lane << ", \"args\": {\"handle\": " << e.handle
+               << ", \"predicted_start_cycle\": " << e.predictedCycle
+               << "}}";
+        } else {
+            os << "  {\"name\": \"" << (e.name ? e.name : "event")
+               << "\", \"cat\": \"sched\", \"ph\": \"i\", \"s\": "
+                  "\"t\", \"ts\": "
+               << tsUs << ", \"pid\": 0, \"tid\": " << e.lane
+               << ", \"args\": {\"handle\": " << e.handle << "}}";
+        }
+    }
+    os << "\n]}\n";
+}
+
+std::string
+Trace::json() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+} // namespace f1::obs

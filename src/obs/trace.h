@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-op tracer emitting Chrome trace-event (Perfetto-loadable) JSON.
+ *
+ * One Tracer lives for one execution. Each recording thread claims a
+ * private lane (a fixed-capacity ring buffer of POD events) on first
+ * use, so the hot path takes NO locks: recording a span is a steady-
+ * clock read plus a store into the lane's ring. Lanes are merged and
+ * time-sorted only at finish(), after the run's pool dispatch has
+ * joined (which is what makes the plain ring writes safe to read).
+ *
+ * Event model, mirroring F1's schedule introspection (§4.4, Fig. 10):
+ *  - one complete span ("ph":"X") per executed HeOp, carrying the op
+ *    kind, DSL handle, lane (worker) id, the compiler's predicted
+ *    startCycle from ScheduleHints, and the measured start — the
+ *    predicted-vs-actual pair every scheduling PR tunes against;
+ *  - instant events ("ph":"i") for work steals and ciphertext
+ *    releases, the two dynamic-scheduler decisions the static
+ *    schedule cannot see.
+ *
+ * Ring overflow drops the OLDEST events per lane (it is a true ring)
+ * and reports the drop count in the exported metadata, so a trace is
+ * never silently truncated.
+ */
+#ifndef F1_OBS_TRACE_H
+#define F1_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace f1::obs {
+
+enum class TraceEventKind : uint8_t {
+    kOpSpan,  //!< one HeOp execution (complete event)
+    kSteal,   //!< op taken from another worker's deque (instant)
+    kRelease, //!< ciphertext freed after last consumer (instant)
+};
+
+struct TraceEvent
+{
+    int64_t tsNs = 0;  //!< start, ns since the tracer's epoch
+    int64_t durNs = 0; //!< spans only
+    int64_t predictedCycle = -1; //!< compiler hint; -1 = unhinted
+    const char *name = nullptr;  //!< static string (op kind name)
+    int32_t handle = -1;         //!< DSL handle
+    uint16_t lane = 0;           //!< filled at merge
+    TraceEventKind kind = TraceEventKind::kOpSpan;
+};
+
+/** A finished, merged trace. */
+class Trace
+{
+  public:
+    const std::vector<TraceEvent> &events() const { return events_; }
+    size_t spanCount() const { return spans_; }
+    uint64_t droppedEvents() const { return dropped_; }
+    size_t laneCount() const { return lanes_; }
+    const std::string &label() const { return label_; }
+
+    /** Chrome trace-event JSON ({"traceEvents": [...], ...}); load in
+     *  ui.perfetto.dev or chrome://tracing. */
+    void writeJson(std::ostream &os) const;
+    std::string json() const;
+
+  private:
+    friend class Tracer;
+    std::vector<TraceEvent> events_; //!< time-sorted
+    size_t spans_ = 0;
+    uint64_t dropped_ = 0;
+    size_t lanes_ = 0;
+    std::string label_;
+};
+
+class Tracer
+{
+  public:
+    /** @param laneCapacity ring capacity per recording thread
+     *  @param label        stamped into the trace metadata (tenant) */
+    explicit Tracer(size_t laneCapacity = 1 << 14,
+                    std::string label = {});
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** ns since the tracer's epoch, on the steady clock. */
+    int64_t nowNs() const;
+
+    /** Records one op span. `name` must be a static string. */
+    void span(const char *name, int32_t handle, int64_t tsNs,
+              int64_t durNs, int64_t predictedCycle);
+
+    /** Records an instant event (steal, release). */
+    void instant(TraceEventKind kind, int32_t handle, int64_t tsNs);
+
+    /**
+     * Merges every lane into one time-sorted Trace. Call only after
+     * all recording threads have joined (the executor calls it after
+     * its pool dispatch returns).
+     */
+    Trace finish();
+
+  private:
+    struct Lane
+    {
+        std::vector<TraceEvent> ring;
+        size_t head = 0;      //!< next write slot
+        uint64_t written = 0; //!< total events offered
+    };
+
+    Lane &lane();
+
+    const size_t laneCapacity_;
+    const uint64_t id_; //!< distinguishes reincarnated tracers (TLS)
+    const std::string label_;
+    const int64_t epochNs_;
+
+    std::mutex lanesMutex_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+} // namespace f1::obs
+
+#endif // F1_OBS_TRACE_H

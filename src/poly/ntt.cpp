@@ -4,6 +4,7 @@
 #include "common/error.h"
 #include "modular/modarith.h"
 #include "modular/primes.h"
+#include "obs/profile.h"
 
 namespace f1 {
 
@@ -191,6 +192,8 @@ void
 NttTables::forward(std::span<uint32_t> a) const
 {
     F1_CHECK(a.size() == n_, "forward NTT length mismatch");
+    // Per-job telemetry: one TLS null check when profiling is off.
+    obs::profileAdd(obs::ProfileCounter::kNttForward);
     // ψ-powers pre-multiplication, lazily into [0, 2q).
     for (uint32_t i = 0; i < n_; ++i)
         a[i] = mulModShoupLazy(a[i], psiPow_[i], psiPowPre_[i], q_);
@@ -204,6 +207,7 @@ void
 NttTables::inverse(std::span<uint32_t> a) const
 {
     F1_CHECK(a.size() == n_, "inverse NTT length mismatch");
+    obs::profileAdd(obs::ProfileCounter::kNttInverse);
     // Unscaled lazy inverse FFT, then ψ^-i/n in one fully-reducing
     // pass (the fused table folds the 1/n in; it also serves as the
     // lazy pipeline's correction pass).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <queue>
@@ -61,6 +62,48 @@ isSource(const HeOp &op)
     return op.kind == HeOpKind::kInput ||
            op.kind == HeOpKind::kInputPlain;
 }
+
+// Static names for trace spans and profile op-kind keys, indexed by
+// HeOpKind. The collector's fixed-size op slots must cover the enum.
+constexpr const char *kOpKindNames[] = {
+    "input",     "input_plain", "add",    "sub",
+    "add_plain", "mul_plain",   "mul",    "rotate",
+    "conjugate", "mod_switch",  "output",
+};
+constexpr size_t kOpKindCount =
+    sizeof(kOpKindNames) / sizeof(kOpKindNames[0]);
+static_assert(size_t(HeOpKind::kOutput) + 1 == kOpKindCount,
+              "kOpKindNames is out of sync with HeOpKind");
+static_assert(kOpKindCount <= obs::ProfileCollector::kMaxOpKinds,
+              "HeOpKind outgrew ProfileCollector's op slots");
+
+const char *
+opKindName(HeOpKind kind)
+{
+    return kOpKindNames[size_t(kind)];
+}
+
+/** Registry-resolved executor metrics; resolved once, process-wide. */
+struct ExecutorMetrics
+{
+    obs::Counter &runs;
+    obs::Counter &ops;
+    obs::Counter &steals;
+    obs::Histogram &executeMs;
+
+    static ExecutorMetrics &
+    get()
+    {
+        static ExecutorMetrics m{
+            obs::MetricsRegistry::global().counter("executor.runs"),
+            obs::MetricsRegistry::global().counter("executor.ops"),
+            obs::MetricsRegistry::global().counter("executor.steals"),
+            obs::MetricsRegistry::global().histogram(
+                "executor.execute_ms"),
+        };
+        return m;
+    }
+};
 
 const std::vector<uint64_t> *
 bgvBinding(const RuntimeInputs &in, int h)
@@ -134,11 +177,19 @@ struct OpGraphExecutor::RunState
     EncodingCache *encCache = nullptr;
     ExecutionResult result;
 
+    // Telemetry for this run; all nullptr when telemetry is off.
+    obs::ProfileCollector *collector = nullptr;
+    obs::Tracer *tracer = nullptr;
+    const ScheduleHints *hints = nullptr;
+
     void
     release(int h)
     {
         cts[h].reset();
         --resident;
+        if (tracer != nullptr)
+            tracer->instant(obs::TraceEventKind::kRelease, h,
+                            tracer->nowNs());
     }
 };
 
@@ -374,6 +425,43 @@ OpGraphExecutor::executeOp(int h, RunState &st) const
 }
 
 /**
+ * executeOp plus this run's telemetry. The telemetry-off path is one
+ * null check and a tail call — no clock reads, which is what keeps
+ * disabled runs inside the <1% overhead budget.
+ */
+void
+OpGraphExecutor::runOp(int h, RunState &st) const
+{
+    if (st.collector == nullptr && st.tracer == nullptr) {
+        executeOp(h, st);
+        return;
+    }
+    const HeOp &op = prog_.ops()[h];
+    if (st.tracer != nullptr) {
+        // Tracer timestamps are steady-clock ns past the tracer's
+        // epoch, so the span pair doubles as the op duration.
+        const int64_t t0 = st.tracer->nowNs();
+        executeOp(h, st);
+        const int64_t ns = st.tracer->nowNs() - t0;
+        if (st.collector != nullptr)
+            st.collector->addOp(size_t(op.kind), uint64_t(ns));
+        const int64_t predicted =
+            st.hints != nullptr
+                ? int64_t(st.hints->startCycle[size_t(h)])
+                : -1;
+        st.tracer->span(opKindName(op.kind), h, t0, ns, predicted);
+        return;
+    }
+    const auto c0 = std::chrono::steady_clock::now();
+    executeOp(h, st);
+    const int64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - c0)
+            .count();
+    st.collector->addOp(size_t(op.kind), uint64_t(ns));
+}
+
+/**
  * Post-completion bookkeeping for op `h`: unlocks dependents whose
  * operands are now all computed (appended to readyOut) and releases
  * any ciphertext that `h` consumed for the last time. Used by the
@@ -409,7 +497,7 @@ OpGraphExecutor::runSerial(RunState &st) const
         const HeOp &op = ops[h];
         if (isSource(op))
             continue;
-        executeOp(h, st);
+        runOp(h, st);
         if (producesCiphertext(op))
             ++st.resident;
         st.result.peakResidentCiphertexts =
@@ -449,10 +537,10 @@ OpGraphExecutor::runWavefront(RunState &st,
         st.result.maxWavefrontWidth =
             std::max(st.result.maxWavefrontWidth, ready.size());
         if (ready.size() == 1) {
-            executeOp(ready[0], st);
+            runOp(ready[0], st);
         } else {
             parallelFor(0, ready.size(), [&](size_t i) {
-                executeOp(ready[i], st);
+                runOp(ready[i], st);
             });
         }
         for (int h : ready) {
@@ -528,6 +616,10 @@ OpGraphExecutor::runWorkStealing(RunState &st,
     std::atomic<size_t> resident{st.resident};
     std::atomic<size_t> peakResident{st.result.peakResidentCiphertexts};
     std::atomic<size_t> steals{0};
+    // Ops concurrently in flight; the peak is WS's analogue of the
+    // wavefront scheduler's maxWavefrontWidth (see ExecutionResult).
+    std::atomic<size_t> running{0};
+    std::atomic<size_t> peakRunning{0};
     std::atomic<bool> abort{false};
     std::mutex errMutex;
     std::exception_ptr firstError;
@@ -571,10 +663,21 @@ OpGraphExecutor::runWorkStealing(RunState &st,
     auto releaseCt = [&](int h) {
         st.cts[h].reset();
         resident.fetch_sub(1, std::memory_order_relaxed);
+        if (st.tracer != nullptr)
+            st.tracer->instant(obs::TraceEventKind::kRelease, h,
+                               st.tracer->nowNs());
     };
 
     auto runOne = [&](size_t wid, int h) {
-        executeOp(h, st);
+        const size_t now =
+            running.fetch_add(1, std::memory_order_relaxed) + 1;
+        size_t wide = peakRunning.load(std::memory_order_relaxed);
+        while (now > wide &&
+               !peakRunning.compare_exchange_weak(
+                   wide, now, std::memory_order_relaxed)) {
+        }
+        runOp(h, st);
+        running.fetch_sub(1, std::memory_order_relaxed);
         if (producesCiphertext(ops[h])) {
             const size_t cur =
                 resident.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -614,9 +717,14 @@ OpGraphExecutor::runWorkStealing(RunState &st,
                 if (h < 0) {
                     for (size_t k = 1; k < W && h < 0; ++k)
                         h = popFrom(deques[(wid + k) % W]);
-                    if (h >= 0)
+                    if (h >= 0) {
                         steals.fetch_add(1,
                                          std::memory_order_relaxed);
+                        if (st.tracer != nullptr)
+                            st.tracer->instant(
+                                obs::TraceEventKind::kSteal, h,
+                                st.tracer->nowNs());
+                    }
                 }
                 if (h < 0) {
                     if (remaining.load(std::memory_order_acquire) ==
@@ -653,6 +761,8 @@ OpGraphExecutor::runWorkStealing(RunState &st,
     st.result.peakResidentCiphertexts =
         peakResident.load(std::memory_order_relaxed);
     st.result.steals = steals.load(std::memory_order_relaxed);
+    st.result.maxWavefrontWidth =
+        peakRunning.load(std::memory_order_relaxed);
 }
 
 ExecutionResult
@@ -676,20 +786,51 @@ OpGraphExecutor::execute(const RuntimeInputs &in,
     st.indeg = indegree_;
     st.uses = consumers_;
     st.encCache = policy.encodingCache;
+    st.hints = policy.scheduleHints;
 
-    prepare(in, st);
+    // Telemetry collectors live on the stack for exactly this run.
+    // The ProfileScope around each phase makes pool batches dispatched
+    // from it inherit the collector (see ThreadPool::run), so nested
+    // limb-parallel work is attributed to this run — and a run WITHOUT
+    // a collector shadows any outer one instead of polluting it.
+    std::unique_ptr<obs::ProfileCollector> collector;
+    std::unique_ptr<obs::Tracer> tracer;
+    if (policy.telemetry.profile)
+        collector = std::make_unique<obs::ProfileCollector>();
+    if (policy.telemetry.trace)
+        tracer = std::make_unique<obs::Tracer>(
+            policy.telemetry.traceLaneCapacity,
+            policy.telemetry.label);
+    st.collector = collector.get();
+    st.tracer = tracer.get();
+
+    size_t totalWork = 0;
+    for (const HeOp &op : ops)
+        if (!isSource(op))
+            ++totalWork;
+    st.result.opsExecuted = totalWork;
+
+    const double p0 = steadyNowMs();
+    {
+        obs::ProfileScope profScope(st.collector);
+        prepare(in, st);
+    }
+    const double prepareMs = steadyNowMs() - p0;
 
     const double t0 = steadyNowMs();
-    switch (policy.scheduler) {
-      case SchedulerKind::kSerial:
-        runSerial(st);
-        break;
-      case SchedulerKind::kWavefront:
-        runWavefront(st, policy);
-        break;
-      case SchedulerKind::kWorkStealing:
-        runWorkStealing(st, policy);
-        break;
+    {
+        obs::ProfileScope profScope(st.collector);
+        switch (policy.scheduler) {
+          case SchedulerKind::kSerial:
+            runSerial(st);
+            break;
+          case SchedulerKind::kWavefront:
+            runWavefront(st, policy);
+            break;
+          case SchedulerKind::kWorkStealing:
+            runWorkStealing(st, policy);
+            break;
+        }
     }
     st.result.wallMs = steadyNowMs() - t0;
 
@@ -698,6 +839,54 @@ OpGraphExecutor::execute(const RuntimeInputs &in,
             st.result.outputs[static_cast<int>(i)] =
                 std::move(*st.outs[i]);
     }
+
+    if (collector) {
+        auto prof = std::make_shared<obs::ExecutionProfile>();
+        prof->label = policy.telemetry.label;
+        for (size_t k = 0; k < kOpKindCount; ++k) {
+            const uint64_t c = collector->opCount[k].load(
+                std::memory_order_relaxed);
+            if (c == 0)
+                continue;
+            auto &slice = prof->opKinds[kOpKindNames[k]];
+            slice.count = c;
+            slice.totalMs = double(collector->opNanos[k].load(
+                                std::memory_order_relaxed)) /
+                            1e6;
+        }
+        const auto counter = [&](obs::ProfileCounter c) {
+            return collector->counters[size_t(c)].load(
+                std::memory_order_relaxed);
+        };
+        prof->nttForward = counter(obs::ProfileCounter::kNttForward);
+        prof->nttInverse = counter(obs::ProfileCounter::kNttInverse);
+        prof->keySwitchApplies =
+            counter(obs::ProfileCounter::kKeySwitchApply);
+        prof->basisExtends =
+            counter(obs::ProfileCounter::kBasisExtend);
+        prof->cacheHits = counter(obs::ProfileCounter::kCacheHit);
+        prof->cacheMisses = counter(obs::ProfileCounter::kCacheMiss);
+        prof->encodingCacheHits = st.result.encodingCacheHits;
+        prof->encodingCacheMisses = st.result.encodingCacheMisses;
+        prof->scratchPeakWords = collector->scratchPeakWords.load(
+            std::memory_order_relaxed);
+        prof->prepareMs = prepareMs;
+        prof->executeMs = st.result.wallMs;
+        st.result.profile = std::move(prof);
+    }
+    if (tracer)
+        st.result.trace =
+            std::make_shared<const obs::Trace>(tracer->finish());
+
+    // Registry fold: cheap per-RUN (not per-op) aggregate metrics,
+    // always on — this is the "one snapshot" the bespoke stats structs
+    // used to scatter.
+    ExecutorMetrics &em = ExecutorMetrics::get();
+    em.runs.inc();
+    em.ops.inc(st.result.opsExecuted);
+    em.steals.inc(st.result.steals);
+    em.executeMs.observe(st.result.wallMs);
+
     return st.result;
 }
 

@@ -58,6 +58,7 @@
 #include "compiler/program.h"
 #include "fhe/bgv.h"
 #include "fhe/ckks.h"
+#include "obs/telemetry.h"
 
 namespace f1 {
 
@@ -114,10 +115,24 @@ struct RuntimeInputs
     }
 };
 
+/**
+ * Per-run results and scheduler statistics. The stats fields are
+ * populated consistently by ALL three schedulers:
+ *  - opsExecuted / peakResidentCiphertexts / encodingCache*: always.
+ *  - wavefronts / maxWavefrontWidth: kSerial reports (opsExecuted, 1);
+ *    kWavefront reports its dispatch rounds and widest round;
+ *    kWorkStealing reports 0 rounds (it has none) and the peak number
+ *    of ops concurrently in flight as the width.
+ *  - steals: nonzero only under kWorkStealing; 0 elsewhere.
+ */
 struct ExecutionResult
 {
     double wallMs = 0; //!< timed execute phase (prepare excluded)
     std::map<int, Ciphertext> outputs; //!< by DSL handle
+
+    /** Non-source ops the scheduler ran (inputs are materialized by
+     *  the prepare phase and not counted). */
+    size_t opsExecuted = 0;
 
     /** High-water mark of simultaneously live ciphertexts (inputs and
      *  intermediates; outputs are copied out and not counted). */
@@ -130,6 +145,12 @@ struct ExecutionResult
     /** Plaintext-encoding cache traffic attributable to this run. */
     uint64_t encodingCacheHits = 0;
     uint64_t encodingCacheMisses = 0;
+
+    /** Set iff ExecutionPolicy::telemetry.profile. */
+    std::shared_ptr<const obs::ExecutionProfile> profile;
+
+    /** Set iff ExecutionPolicy::telemetry.trace. */
+    std::shared_ptr<const obs::Trace> trace;
 };
 
 /**
@@ -167,7 +188,9 @@ using EncodingCache =
  * ascending-handle priority, which preserves the historical order.
  * threadBudget caps the worker count of the work-stealing scheduler
  * (0 = the whole pool); kSerial/kWavefront ignore it. encodingCache
- * nullptr means encode per run.
+ * nullptr means encode per run. telemetry turns on per-op tracing
+ * and/or a per-run ExecutionProfile (both off by default; disabled
+ * runs pay only thread-local null checks — see obs/telemetry.h).
  */
 struct ExecutionPolicy
 {
@@ -175,6 +198,7 @@ struct ExecutionPolicy
     const ScheduleHints *scheduleHints = nullptr;
     unsigned threadBudget = 0;
     EncodingCache *encodingCache = nullptr;
+    obs::TelemetryOptions telemetry;
 };
 
 /**
@@ -230,6 +254,7 @@ class OpGraphExecutor
     std::shared_ptr<const std::vector<int64_t>>
     encodeBgvPlain(std::span<const uint64_t> slots, RunState &st) const;
     void executeOp(int h, RunState &st) const;
+    void runOp(int h, RunState &st) const; //!< executeOp + telemetry
     void retireOp(int h, RunState &st,
                   std::vector<int> &readyOut) const;
     void runSerial(RunState &st) const;

@@ -3,17 +3,48 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/time_util.h"
+#include "obs/metrics.h"
 
 namespace f1 {
 
+namespace {
+
+/** Registry-resolved serving metrics; resolved once, process-wide. */
+struct ServingMetrics
+{
+    obs::Counter &submitted;
+    obs::Counter &completed;
+    obs::Counter &failed;
+    obs::Histogram &queueMs;
+    obs::Histogram &serviceMs;
+
+    static ServingMetrics &
+    get()
+    {
+        auto &reg = obs::MetricsRegistry::global();
+        static ServingMetrics m{
+            reg.counter("serving.jobs_submitted"),
+            reg.counter("serving.jobs_completed"),
+            reg.counter("serving.jobs_failed"),
+            reg.histogram("serving.queue_ms"),
+            reg.histogram("serving.service_ms"),
+        };
+        return m;
+    }
+};
+
+} // namespace
+
 ServingEngine::ServingEngine(BgvScheme *bgv, ServingConfig cfg)
-    : bgv_(bgv), cfg_(cfg), encCache_(cfg.encodingCacheCapacity)
+    : bgv_(bgv), cfg_(cfg),
+      encCache_(cfg.encodingCacheCapacity, "serving_encoding")
 {
     start();
 }
 
 ServingEngine::ServingEngine(CkksScheme *ckks, ServingConfig cfg)
-    : ckks_(ckks), cfg_(cfg), encCache_(cfg.encodingCacheCapacity)
+    : ckks_(ckks), cfg_(cfg),
+      encCache_(cfg.encodingCacheCapacity, "serving_encoding")
 {
     start();
 }
@@ -65,6 +96,7 @@ ServingEngine::submit(JobRequest req)
         it->second.push_back(std::move(job));
         ++pending_;
         ++stats_.submitted;
+        ServingMetrics::get().submitted.inc();
         stats_.peakQueueDepth =
             std::max(stats_.peakQueueDepth, pending_);
     }
@@ -108,6 +140,10 @@ ServingEngine::runJob(Job &job)
     pol.encodingCache = &encCache_;
     if (job.req.hints != nullptr)
         pol.scheduleHints = job.req.hints;
+    // Tag this job's telemetry artifacts with the tenant, unless the
+    // configured policy already carries an explicit label.
+    if (pol.telemetry.enabled() && pol.telemetry.label.empty())
+        pol.telemetry.label = job.req.tenant;
     res.exec = exec.execute(job.req.inputs, pol);
     res.serviceMs = steadyNowMs() - startMs;
     return res;
@@ -143,6 +179,14 @@ ServingEngine::workerLoop()
             job.promise.set_exception(std::current_exception());
         }
 
+        ServingMetrics &sm = ServingMetrics::get();
+        if (failed) {
+            sm.failed.inc();
+        } else {
+            sm.completed.inc();
+            sm.queueMs.observe(res.queueMs);
+            sm.serviceMs.observe(res.serviceMs);
+        }
         {
             std::lock_guard<std::mutex> lock(m_);
             if (failed) {

@@ -86,6 +86,12 @@ struct JobResult
     double serviceMs = 0; //!< pickup -> completion (includes prepare)
 };
 
+/**
+ * Per-engine counters. Deprecated as an aggregation point: the same
+ * totals (fleet-wide, across engines) live in the metrics registry as
+ * "serving.jobs_*" counters and "serving.{queue,service}_ms"
+ * histograms — prefer MetricsRegistry::global().snapshot().
+ */
 struct ServingStats
 {
     uint64_t submitted = 0;
@@ -124,9 +130,11 @@ class ServingEngine
         return static_cast<unsigned>(workers_.size());
     }
 
+    /** Deprecated shim (see ServingStats): per-engine snapshot. */
     ServingStats stats() const;
 
-    /** Encoding-cache counters (shared across all jobs). */
+    /** Deprecated shim: per-engine encoding-cache counters; the
+     *  registry aggregates them as "cache.serving_encoding.*". */
     CacheStats encodingCacheStats() const { return encCache_.stats(); }
 
   private:

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON validator for tests.
+ *
+ * The observability tests must assert that exported artifacts (metric
+ * snapshots, execution profiles, Chrome trace-event files) are valid
+ * JSON — the trace contract is "loads in ui.perfetto.dev", and a
+ * malformed escape or trailing comma breaks that silently. The repo
+ * deliberately carries no JSON dependency, so this header implements
+ * just enough of RFC 8259 to lint: it validates syntax (and counts
+ * nodes) without building a DOM.
+ */
+#ifndef F1_TESTS_JSON_LINT_H
+#define F1_TESTS_JSON_LINT_H
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace f1::testing {
+
+class JsonLint
+{
+  public:
+    /** Validates `text` as one complete JSON value (plus trailing
+     *  whitespace). On failure, error() describes the first problem
+     *  and its byte offset. */
+    bool
+    validate(std::string_view text)
+    {
+        s_ = text;
+        pos_ = 0;
+        error_.clear();
+        if (!value())
+            return false;
+        skipWs();
+        if (pos_ != s_.size())
+            return fail("trailing characters after JSON value");
+        return true;
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = what + " at byte " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(std::string_view lit)
+    {
+        if (s_.compare(pos_, lit.size(), lit) != 0)
+            return fail("bad literal");
+        pos_ += lit.size();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return fail("dangling escape");
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= s_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_ + i])))
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape character");
+                }
+            }
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= s_.size() ||
+            !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+            return fail("bad number");
+        if (s_[pos_] == '0') {
+            ++pos_; // no leading zeros
+        } else {
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                return fail("bad fraction");
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() &&
+                (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= s_.size() ||
+                !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                return fail("bad exponent");
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default:  return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return fail("expected ':' in object");
+            ++pos_;
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string_view s_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+/** One-shot convenience: true iff `text` is valid JSON. */
+inline bool
+isValidJson(std::string_view text, std::string *why = nullptr)
+{
+    JsonLint lint;
+    const bool ok = lint.validate(text);
+    if (!ok && why != nullptr)
+        *why = lint.error();
+    return ok;
+}
+
+} // namespace f1::testing
+
+#endif // F1_TESTS_JSON_LINT_H
