@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Batched-serving bench: an identical-program workload (many clients
+ * of one model — the serving case the coalescer exists for) is pushed
+ * through the ServingEngine twice per worker count: once with
+ * batching disabled (maxBatch = 1, the per-job pipeline) and once
+ * with maxBatch = 8, under the deadline/priority scheduler with two
+ * tenant classes (gold: priority 2, tight deadline; bulk: priority 0,
+ * loose deadline). Emits one JSON document (BENCH_serving.json in CI)
+ * with jobs/sec for both modes, the speedup, the realized batch-size
+ * distribution, and per-tenant-class p50/p95 turnaround latency.
+ *
+ * The workload is deliberately cheap-op-heavy (a long add chain with
+ * a few rotations at a small degree): batching amortizes per-job
+ * fixed overhead — queue pop round-trips, executor construction, per
+ * -op scheduling bookkeeping, hint-cache and metrics-registry lock
+ * traffic — so its margin is largest where kernels are small. On one
+ * core with compute-dominated jobs that margin is a few percent; the
+ * amortized costs are the CONTENDED ones when several workers serve
+ * per-job traffic, which is why the gate fires at >= 4 workers.
+ * Jobs/sec is the best across reps (both modes equally), which
+ * measures intrinsic cost rather than background-load noise.
+ *
+ * Every job in every mode is checked bit-for-bit against a solo
+ * serial run of the same (program, inputs, seed): a throughput win
+ * from diverging ciphertexts is a correctness failure, not a perf
+ * data point (exit 1). In full mode on >= 4 hardware threads the
+ * acceptance gate is enforced: batched jobs/sec must be strictly
+ * above per-job jobs/sec at every worker count >= 4 (exit 2).
+ *
+ * Usage: bench_serving_batched [--smoke]
+ *   --smoke  CI canary: fewer jobs, workers {1, 2}, bit-identity
+ *            checks only (no perf gate).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/parallel.h"
+#include "common/time_util.h"
+#include "obs/metrics.h"
+#include "runtime/op_graph_executor.h"
+#include "runtime/serving.h"
+
+namespace f1::bench {
+namespace {
+
+/**
+ * One small "model": a plaintext multiply by shared weights, a few
+ * rotations, and a long accumulation chain of cheap adds. Per-op
+ * kernel cost is tiny, so per-job fixed overhead is a visible
+ * fraction — the regime where coalescing pays.
+ */
+Program
+modelProgram(uint32_t n, int addSteps)
+{
+    Program p(n, 3, "model");
+    int x = p.input();
+    int w = p.inputPlain();
+    int m = p.mulPlain(x, w);
+    int acc = p.add(m, p.rotate(m, 1));
+    acc = p.add(acc, p.rotate(acc, 2));
+    for (int i = 0; i < addSteps; ++i)
+        acc = p.add(acc, m);
+    p.output(acc);
+    return p;
+}
+
+uint64_t
+outputsHash(const ExecutionResult &r)
+{
+    uint64_t h = hashMix(r.outputs.size());
+    for (const auto &[handle, ct] : r.outputs) {
+        h = hashCombine(h, static_cast<uint64_t>(handle));
+        for (const auto &poly : ct.polys)
+            for (uint32_t v : poly.raw())
+                h = hashCombine(h, v);
+        h = hashCombine(h, ct.ptCorrection);
+    }
+    return h;
+}
+
+double
+percentile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        return 0;
+    std::sort(xs.begin(), xs.end());
+    const size_t idx = std::min(
+        xs.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(xs.size())));
+    return xs[idx];
+}
+
+struct ClassLatency
+{
+    std::vector<double> turnaroundMs;
+};
+
+struct ModeResult
+{
+    double jobsPerSec = 0; //!< best across reps
+    std::map<std::string, ClassLatency> classes;
+    std::map<size_t, size_t> batchSizes; //!< size -> jobs served at it
+    bool bitIdentical = true;
+};
+
+struct SweepRow
+{
+    unsigned workers;
+    ModeResult perJob;  //!< maxBatch = 1
+    ModeResult batched; //!< maxBatch = 8
+};
+
+int
+run(bool smoke)
+{
+    const uint32_t n = 256;
+    const int addSteps = 96;
+    const size_t kJobs = smoke ? 16 : 64;
+    const int reps = smoke ? 2 : 5;
+    const size_t kMaxBatch = 8;
+    // Worker counts beyond the physical cores only measure scheduler
+    // noise (several batch working sets interleaving through one
+    // core's cache), so the sweep is clamped to hw; the >= 4 workers
+    // acceptance gate therefore fires exactly on machines that can
+    // actually run 4 workers in parallel.
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::vector<unsigned> workerCounts;
+    for (unsigned w : smoke ? std::vector<unsigned>{1, 2}
+                            : std::vector<unsigned>{1, 2, 4})
+        if (w <= hw)
+            workerCounts.push_back(w);
+    if (!smoke && hw > 4)
+        workerCounts.push_back(hw);
+    if (workerCounts.empty())
+        workerCounts.push_back(1);
+
+    FheParams params;
+    params.n = n;
+    params.maxLevel = 3;
+    params.primeBits = 28;
+    params.plainModulus = 65537;
+    FheContext ctx(params);
+    BgvScheme bgv(&ctx);
+
+    Program model = modelProgram(n, addSteps);
+    std::vector<uint64_t> weights(n);
+    for (size_t i = 0; i < n; ++i)
+        weights[i] = (7 * i + 11) % 65537;
+
+    const auto tenantOf = [](size_t i) {
+        return i % 2 == 0 ? "gold" : "bulk";
+    };
+    auto makeRequest = [&](size_t i) {
+        JobRequest req;
+        req.program = &model;
+        req.tenant = tenantOf(i);
+        req.inputs.seed = 4000 + i;
+        req.inputs.bind(1, weights); // shared model weights
+        return req;
+    };
+
+    // --- Untimed warm-up + solo golden hashes: a serial inline run
+    // per job seeds the hint cache and records the bit pattern every
+    // engine run must reproduce.
+    ExecutionPolicy serialPolicy;
+    serialPolicy.scheduler = SchedulerKind::kSerial;
+    std::vector<uint64_t> golden(kJobs);
+    {
+        InlineParallelScope inlineScope;
+        OpGraphExecutor exec(model, &bgv);
+        for (size_t i = 0; i < kJobs; ++i)
+            golden[i] =
+                outputsHash(exec.execute(makeRequest(i).inputs,
+                                         serialPolicy));
+    }
+
+    auto runMode = [&](unsigned workers, size_t maxBatch) {
+        ModeResult out;
+        std::vector<double> jps(static_cast<size_t>(reps));
+        for (int rep = 0; rep < reps; ++rep) {
+            ServingConfig cfg;
+            cfg.workers = workers;
+            cfg.scheduling = SchedulingPolicy::kDeadline;
+            cfg.maxBatch = maxBatch;
+            cfg.tenantPolicies["gold"] = {2, 20.0, 0};
+            cfg.tenantPolicies["bulk"] = {0, 500.0, 0};
+            ServingEngine engine(&bgv, cfg);
+
+            const double t0 = steadyNowMs();
+            std::vector<std::future<JobResult>> futs;
+            futs.reserve(kJobs);
+            for (size_t i = 0; i < kJobs; ++i)
+                futs.push_back(engine.submit(makeRequest(i)));
+            for (size_t i = 0; i < kJobs; ++i) {
+                JobResult r = futs[i].get();
+                out.bitIdentical = out.bitIdentical &&
+                                   outputsHash(r.exec) == golden[i];
+                out.classes[tenantOf(i)].turnaroundMs.push_back(
+                    r.queueMs + r.serviceMs);
+                ++out.batchSizes[r.exec.batchSize];
+            }
+            jps[size_t(rep)] = 1000.0 * double(kJobs) /
+                               (steadyNowMs() - t0);
+        }
+        out.jobsPerSec = *std::max_element(jps.begin(), jps.end());
+        return out;
+    };
+
+    std::vector<SweepRow> rows;
+    bool allIdentical = true;
+    for (unsigned workers : workerCounts) {
+        SweepRow row;
+        row.workers = workers;
+        row.perJob = runMode(workers, 1);
+        row.batched = runMode(workers, kMaxBatch);
+        allIdentical = allIdentical && row.perJob.bitIdentical &&
+                       row.batched.bitIdentical;
+        rows.push_back(std::move(row));
+    }
+
+    const auto printMode = [](const char *key, const ModeResult &m,
+                              const char *trail) {
+        printf("     \"%s\": {\"jobs_per_sec\": %.2f, "
+               "\"bit_identical\": %s,\n",
+               key, m.jobsPerSec, m.bitIdentical ? "true" : "false");
+        printf("       \"batch_sizes\": {");
+        bool first = true;
+        for (const auto &[size, count] : m.batchSizes) {
+            printf("%s\"%zu\": %zu", first ? "" : ", ", size, count);
+            first = false;
+        }
+        printf("},\n       \"classes\": {");
+        first = true;
+        for (const auto &[name, lat] : m.classes) {
+            printf("%s\"%s\": {\"p50_ms\": %.3f, \"p95_ms\": %.3f}",
+                   first ? "" : ", ", name.c_str(),
+                   percentile(lat.turnaroundMs, 0.50),
+                   percentile(lat.turnaroundMs, 0.95));
+            first = false;
+        }
+        printf("}}%s\n", trail);
+    };
+
+    printf("{\n  \"bench\": \"serving_batched\",\n");
+    printf("  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    printf("  \"hw_concurrency\": %u,\n", hw);
+    printf("  \"n\": %u, \"levels\": 3, \"jobs\": %zu, "
+           "\"max_batch\": %zu, \"reps\": %d,\n",
+           n, kJobs, kMaxBatch, reps);
+    printf("  \"results\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow &r = rows[i];
+        printf("    {\"workers\": %u,\n", r.workers);
+        printMode("per_job", r.perJob, ",");
+        printMode("batched", r.batched, ",");
+        printf("     \"batched_speedup\": %.3f}%s\n",
+               r.perJob.jobsPerSec > 0
+                   ? r.batched.jobsPerSec / r.perJob.jobsPerSec
+                   : 0.0,
+               i + 1 < rows.size() ? "," : "");
+    }
+    printf("  ],\n");
+    printf("  \"metrics\": %s\n}\n",
+           obs::MetricsRegistry::global().snapshot().toJson().c_str());
+
+    if (!allIdentical) {
+        fprintf(stderr, "FAIL: batched/per-job outputs diverged from "
+                        "the solo serial baseline\n");
+        return 1;
+    }
+    if (!smoke && hw >= 4) {
+        // Acceptance gate: coalescing identical-program jobs must be
+        // a strict throughput win over the per-job pipeline at every
+        // worker count >= 4.
+        for (const SweepRow &r : rows) {
+            if (r.workers >= 4 &&
+                r.batched.jobsPerSec <= r.perJob.jobsPerSec) {
+                fprintf(stderr,
+                        "FAIL: %u workers: batched %.2f jobs/s is "
+                        "not above per-job %.2f jobs/s\n",
+                        r.workers, r.batched.jobsPerSec,
+                        r.perJob.jobsPerSec);
+                return 2;
+            }
+        }
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace f1::bench
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+    return f1::bench::run(smoke);
+}

@@ -1,6 +1,27 @@
 #include "compiler/program.h"
 
+#include "common/hash.h"
+
 namespace f1 {
+
+uint64_t
+Program::fingerprint() const
+{
+    uint64_t fp = hashMix(0xf19e1d);
+    fp = hashCombine(fp, n_);
+    fp = hashCombine(fp, startLevel_);
+    fp = hashCombine(fp, auxCount_);
+    fp = hashCombine(fp, ops_.size());
+    for (const HeOp &op : ops_) {
+        fp = hashCombine(fp, uint64_t(op.kind));
+        fp = hashCombine(fp, uint64_t(int64_t(op.a)));
+        fp = hashCombine(fp, uint64_t(int64_t(op.b)));
+        fp = hashCombine(fp, uint64_t(op.rotateBy));
+        fp = hashCombine(fp, op.level);
+        fp = hashCombine(fp, uint64_t(op.variant));
+    }
+    return fp;
+}
 
 std::map<int, size_t>
 Program::hintUseCounts() const

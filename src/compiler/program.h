@@ -153,6 +153,17 @@ class Program
     /** Number of ops using each hint (reuse statistics, §4.2). */
     std::map<int, size_t> hintUseCounts() const;
 
+    /**
+     * Content-addressed fingerprint of the program's structure: ring
+     * degree, entry level, aux primes, and every op's (kind, operands,
+     * rotation, level, variant). Two Program objects with equal
+     * fingerprints execute identically on identical inputs, whatever
+     * their names or addresses — the serving coalescer's batching key.
+     * The name is deliberately excluded; hintId is derived from the
+     * ops and needs no separate folding.
+     */
+    uint64_t fingerprint() const;
+
   private:
     int
     push(HeOp op)

@@ -183,6 +183,18 @@ CkksScheme::mulPlain(const Ciphertext &a,
 }
 
 Ciphertext
+CkksScheme::mulPlainEncoded(const Ciphertext &a,
+                            const RnsPoly &pt) const
+{
+    Ciphertext out = a;
+    for (auto &p : out.polys)
+        p.mulEq(pt);
+    out.scale = a.scale * defaultScale();
+    out.noiseBits = a.noiseBits + std::log2(defaultScale()) + 1.0;
+    return out;
+}
+
+Ciphertext
 CkksScheme::mulConst(const Ciphertext &a, double c) const
 {
     RnsPoly pt =
@@ -214,6 +226,16 @@ CkksScheme::addPlain(const Ciphertext &a,
                      std::span<const std::complex<double>> slots) const
 {
     RnsPoly pt = encoder_.encode(slots, a.scale, a.level());
+    Ciphertext out = a;
+    out.polys[0] += pt;
+    out.noiseBits = a.noiseBits + 0.5;
+    return out;
+}
+
+Ciphertext
+CkksScheme::addPlainEncoded(const Ciphertext &a,
+                            const RnsPoly &pt) const
+{
     Ciphertext out = a;
     out.polys[0] += pt;
     out.noiseBits = a.noiseBits + 0.5;

@@ -71,6 +71,15 @@ class CkksScheme
     Ciphertext mulPlain(const Ciphertext &a,
                         std::span<const std::complex<double>> slots) const;
 
+    /**
+     * As mulPlain, but taking an ALREADY-ENCODED plaintext polynomial
+     * at (defaultScale(), a.level()) — the executor's encoding-cache
+     * path, where one encoded constant serves many jobs. Bit-identical
+     * to mulPlain over the slots `pt` was encoded from.
+     */
+    Ciphertext mulPlainEncoded(const Ciphertext &a,
+                               const RnsPoly &pt) const;
+
     /** Multiply every slot by a real constant (scale multiplies). */
     Ciphertext mulConst(const Ciphertext &a, double c) const;
 
@@ -90,6 +99,14 @@ class CkksScheme
     Ciphertext addPlain(const Ciphertext &a,
                         std::span<const std::complex<double>> slots)
         const;
+
+    /**
+     * As addPlain, but taking an ALREADY-ENCODED plaintext polynomial
+     * at (a.scale, a.level()) — the executor's encoding-cache path.
+     * Bit-identical to addPlain over the slots `pt` was encoded from.
+     */
+    Ciphertext addPlainEncoded(const Ciphertext &a,
+                               const RnsPoly &pt) const;
 
     /** Drop one prime, dividing the scale by it (paper §2.2.2). */
     Ciphertext rescale(const Ciphertext &a) const;

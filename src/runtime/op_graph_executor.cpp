@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <exception>
 #include <mutex>
@@ -165,19 +166,42 @@ struct OpPriority
 
 } // namespace
 
-struct OpGraphExecutor::RunState
+/**
+ * One batch member's private data: its ciphertexts, plaintexts,
+ * outputs, and per-member counters. Every member of a batch walks the
+ * same graph, so the structural state (dependency counts, liveness)
+ * lives once in RunState; everything a single job owns lives here.
+ */
+struct OpGraphExecutor::Member
 {
     std::vector<std::optional<Ciphertext>> cts;
     std::vector<std::shared_ptr<const std::vector<int64_t>>> bgvPts;
-    std::vector<std::vector<std::complex<double>>> ckksPts;
+    std::vector<std::vector<std::complex<double>>> ckksSlots;
     std::vector<std::optional<Ciphertext>> outs;
+    uint64_t encodingCacheHits = 0;
+    uint64_t encodingCacheMisses = 0;
+};
+
+/**
+ * Per-traversal state, shared by every member of the batch. The
+ * schedulers walk the graph ONCE: dependency counts, consumer counts,
+ * and the resident-ciphertext high-water mark are per member (members
+ * are structurally identical), and "execute op h" / "release handle
+ * d" fan out across members.
+ */
+struct OpGraphExecutor::RunState
+{
+    std::vector<Member> members;
     std::vector<int> indeg;
     std::vector<int> uses;
-    size_t resident = 0;
+    size_t resident = 0;     //!< live ciphertexts PER MEMBER
+    size_t peakResident = 0; //!< per-member high-water mark
+    size_t wavefronts = 0;
+    size_t maxWavefrontWidth = 0;
+    size_t steals = 0;
     EncodingCache *encCache = nullptr;
-    ExecutionResult result;
 
-    // Telemetry for this run; all nullptr when telemetry is off.
+    // Telemetry for this traversal; all nullptr when telemetry is off.
     obs::ProfileCollector *collector = nullptr;
     obs::Tracer *tracer = nullptr;
     const ScheduleHints *hints = nullptr;
@@ -185,7 +209,8 @@ struct OpGraphExecutor::RunState
     void
     release(int h)
     {
-        cts[h].reset();
+        for (Member &m : members)
+            m.cts[h].reset();
         --resident;
         if (tracer != nullptr)
             tracer->instant(obs::TraceEventKind::kRelease, h,
@@ -272,38 +297,46 @@ OpGraphExecutor::buildGraph()
 }
 
 void
-OpGraphExecutor::prepare(const RuntimeInputs &in, RunState &st) const
+OpGraphExecutor::prepare(const RuntimeInputs &in, RunState &st,
+                         Member &m, bool first) const
 {
     const auto &ops = prog_.ops();
     const uint32_t n = prog_.n();
 
-    // Hint warming, in program order. Hint bits are order-independent
-    // (hintSeed), so this is a latency optimization, not a correctness
-    // requirement: it keeps key generation out of the timed region,
-    // matching the old executor's "client-side work excluded" stance.
-    for (const HeOp &op : ops) {
-        if (op.kind == HeOpKind::kMul) {
-            if (bgv_)
-                bgv_->relinHintShared(op.level);
-            else
-                ckks_->relinHintShared(op.level);
-        } else if (op.kind == HeOpKind::kRotate ||
-                   op.kind == HeOpKind::kConjugate) {
-            const auto &order = bgv_ ? bgv_->encoder().slotOrder()
-                                     : ckks_->encoder().slotOrder();
-            const uint64_t g = op.kind == HeOpKind::kRotate
-                                   ? order.rotationGalois(op.rotateBy)
-                                   : order.conjugationGalois();
-            if (bgv_)
-                bgv_->galoisHintShared(g, op.level);
-            else
-                ckks_->galoisHintShared(g, op.level);
+    // Hint warming, in program order, once per batch (hints are keyed
+    // by the program shape, not by member data). Hint bits are
+    // order-independent (hintSeed), so this is a latency optimization,
+    // not a correctness requirement: it keeps key generation out of
+    // the timed region, matching the old executor's "client-side work
+    // excluded" stance.
+    if (first) {
+        for (const HeOp &op : ops) {
+            if (op.kind == HeOpKind::kMul) {
+                if (bgv_)
+                    bgv_->relinHintShared(op.level);
+                else
+                    ckks_->relinHintShared(op.level);
+            } else if (op.kind == HeOpKind::kRotate ||
+                       op.kind == HeOpKind::kConjugate) {
+                const auto &order =
+                    bgv_ ? bgv_->encoder().slotOrder()
+                         : ckks_->encoder().slotOrder();
+                const uint64_t g =
+                    op.kind == HeOpKind::kRotate
+                        ? order.rotationGalois(op.rotateBy)
+                        : order.conjugationGalois();
+                if (bgv_)
+                    bgv_->galoisHintShared(g, op.level);
+                else
+                    ckks_->galoisHintShared(g, op.level);
+            }
         }
     }
 
     // Inputs: encryption and encoding run serially in program order
-    // with a per-run Rng, so the prepared state is a pure function of
-    // (program, inputs, seed) — independent of concurrent jobs.
+    // with a per-member Rng, so each member's prepared state is a pure
+    // function of (program, inputs, seed) — independent of concurrent
+    // jobs AND of the other batch members.
     Rng rng(in.seed);
     for (size_t i = 0; i < ops.size(); ++i) {
         const HeOp &op = ops[i];
@@ -314,7 +347,7 @@ OpGraphExecutor::prepare(const RuntimeInputs &in, RunState &st) const
                 std::vector<uint64_t> slots =
                     bound ? *bound
                           : rng.uniformVector(n, bgv_->plainModulus());
-                st.cts[h] = bgv_->encryptSlots(slots, op.level, rng);
+                m.cts[h] = bgv_->encryptSlots(slots, op.level, rng);
             } else {
                 const auto *bound = ckksBinding(in, h);
                 std::vector<std::complex<double>> slots(n / 2);
@@ -324,16 +357,17 @@ OpGraphExecutor::prepare(const RuntimeInputs &in, RunState &st) const
                     for (auto &s : slots)
                         s = {rng.uniformReal(-1, 1), 0.0};
                 }
-                st.cts[h] = ckks_->encrypt(slots, op.level, rng);
+                m.cts[h] = ckks_->encrypt(slots, op.level, rng);
             }
-            ++st.resident;
+            if (first)
+                ++st.resident; // structural count, same for everyone
         } else if (op.kind == HeOpKind::kInputPlain) {
             if (bgv_) {
                 const auto *bound = bgvBinding(in, h);
                 std::vector<uint64_t> slots =
                     bound ? *bound
                           : rng.uniformVector(n, bgv_->plainModulus());
-                st.bgvPts[h] = encodeBgvPlain(slots, st);
+                m.bgvPts[h] = encodeBgvPlain(slots, st, m);
             } else {
                 const auto *bound = ckksBinding(in, h);
                 std::vector<std::complex<double>> slots(n / 2);
@@ -343,16 +377,18 @@ OpGraphExecutor::prepare(const RuntimeInputs &in, RunState &st) const
                     for (auto &s : slots)
                         s = {rng.uniformReal(-1, 1), 0.0};
                 }
-                st.ckksPts[h] = std::move(slots);
+                // Raw slots; encoded (and cached) lazily at the
+                // consuming op, where scale and level are known.
+                m.ckksSlots[h] = std::move(slots);
             }
         }
     }
-    st.result.peakResidentCiphertexts = st.resident;
+    st.peakResident = st.resident;
 }
 
 std::shared_ptr<const std::vector<int64_t>>
 OpGraphExecutor::encodeBgvPlain(std::span<const uint64_t> slots,
-                                RunState &st) const
+                                RunState &st, Member &m) const
 {
     if (!st.encCache) {
         return std::make_shared<const std::vector<int64_t>>(
@@ -363,63 +399,132 @@ OpGraphExecutor::encodeBgvPlain(std::span<const uint64_t> slots,
         hashCombine(hashCombine(hashMix(0xe4c0de), prog_.n()),
                     bgv_->plainModulus());
     key.dataHash = hashU64Span(slots);
+    const auto alias = [](std::shared_ptr<const EncodedPlaintext> p) {
+        const auto *v = std::get_if<std::vector<int64_t>>(p.get());
+        F1_CHECK(v != nullptr,
+                 "encoding-cache entry holds a CKKS value under a BGV "
+                 "key");
+        return std::shared_ptr<const std::vector<int64_t>>(
+            std::move(p), v);
+    };
     if (auto hit = st.encCache->get(key)) {
-        ++st.result.encodingCacheHits;
-        return hit;
+        ++m.encodingCacheHits;
+        return alias(std::move(hit));
     }
-    ++st.result.encodingCacheMisses;
+    ++m.encodingCacheMisses;
     // A concurrent job may race the same miss; put() keeps the first
     // value, and both values are identical (encoding is pure).
-    return st.encCache->put(key, bgv_->encoder().encodeSlots(slots));
+    return alias(st.encCache->put(
+        key, EncodedPlaintext(bgv_->encoder().encodeSlots(slots))));
+}
+
+/**
+ * CKKS counterpart of encodeBgvPlain: plaintext slots are encoded to
+ * an RnsPoly at the consuming ciphertext's (scale, level), and the
+ * result is content-addressed in the shared cache — repeated model
+ * weights across jobs and batch members encode once. Determinism:
+ * encoding is a pure function of (slots, scale, level), so cached and
+ * fresh encodings are bit-identical.
+ */
+std::shared_ptr<const RnsPoly>
+OpGraphExecutor::encodeCkksPlain(
+    std::span<const std::complex<double>> slots, double scale,
+    size_t level, RunState &st, Member &m) const
+{
+    if (!st.encCache) {
+        return std::make_shared<const RnsPoly>(
+            ckks_->encoder().encode(slots, scale, level));
+    }
+    EncodingKey key;
+    key.paramsFp = hashCombine(hashMix(0xc4c5de), prog_.n());
+    uint64_t dh = hashMix(slots.size());
+    for (const std::complex<double> &s : slots) {
+        dh = hashCombine(dh, std::bit_cast<uint64_t>(s.real()));
+        dh = hashCombine(dh, std::bit_cast<uint64_t>(s.imag()));
+    }
+    key.dataHash = dh;
+    key.shapeFp =
+        hashCombine(hashCombine(hashMix(0x5ca1e),
+                                std::bit_cast<uint64_t>(scale)),
+                    level);
+    const auto alias = [](std::shared_ptr<const EncodedPlaintext> p) {
+        const auto *v = std::get_if<RnsPoly>(p.get());
+        F1_CHECK(v != nullptr,
+                 "encoding-cache entry holds a BGV value under a CKKS "
+                 "key");
+        return std::shared_ptr<const RnsPoly>(std::move(p), v);
+    };
+    if (auto hit = st.encCache->get(key)) {
+        ++m.encodingCacheHits;
+        return alias(std::move(hit));
+    }
+    ++m.encodingCacheMisses;
+    return alias(st.encCache->put(
+        key,
+        EncodedPlaintext(ckks_->encoder().encode(slots, scale,
+                                                 level))));
 }
 
 void
-OpGraphExecutor::executeOp(int h, RunState &st) const
+OpGraphExecutor::executeOp(int h, RunState &st, Member &m) const
 {
     const HeOp &op = prog_.ops()[h];
     auto ct = [&](int idx) -> const Ciphertext & {
-        F1_CHECK(st.cts[idx].has_value(),
+        F1_CHECK(m.cts[idx].has_value(),
                  "operand " << idx << " not resident for op " << h);
-        return *st.cts[idx];
+        return *m.cts[idx];
     };
     switch (op.kind) {
       case HeOpKind::kInput:
       case HeOpKind::kInputPlain:
         break; // materialized by prepare()
       case HeOpKind::kAdd:
-        st.cts[h] = bgv_ ? bgv_->add(ct(op.a), ct(op.b))
-                         : ckks_->add(ct(op.a), ct(op.b));
+        m.cts[h] = bgv_ ? bgv_->add(ct(op.a), ct(op.b))
+                        : ckks_->add(ct(op.a), ct(op.b));
         break;
       case HeOpKind::kSub:
-        st.cts[h] = bgv_ ? bgv_->sub(ct(op.a), ct(op.b))
-                         : ckks_->sub(ct(op.a), ct(op.b));
+        m.cts[h] = bgv_ ? bgv_->sub(ct(op.a), ct(op.b))
+                        : ckks_->sub(ct(op.a), ct(op.b));
         break;
       case HeOpKind::kAddPlain:
-        st.cts[h] = bgv_ ? bgv_->addPlain(ct(op.a), *st.bgvPts[op.b])
-                         : ckks_->addPlain(ct(op.a), st.ckksPts[op.b]);
+        if (bgv_) {
+            m.cts[h] = bgv_->addPlain(ct(op.a), *m.bgvPts[op.b]);
+        } else {
+            const Ciphertext &a = ct(op.a);
+            auto pt = encodeCkksPlain(m.ckksSlots[op.b], a.scale,
+                                      a.level(), st, m);
+            m.cts[h] = ckks_->addPlainEncoded(a, *pt);
+        }
         break;
       case HeOpKind::kMulPlain:
-        st.cts[h] = bgv_ ? bgv_->mulPlain(ct(op.a), *st.bgvPts[op.b])
-                         : ckks_->mulPlain(ct(op.a), st.ckksPts[op.b]);
+        if (bgv_) {
+            m.cts[h] = bgv_->mulPlain(ct(op.a), *m.bgvPts[op.b]);
+        } else {
+            const Ciphertext &a = ct(op.a);
+            auto pt = encodeCkksPlain(m.ckksSlots[op.b],
+                                      ckks_->defaultScale(),
+                                      a.level(), st, m);
+            m.cts[h] = ckks_->mulPlainEncoded(a, *pt);
+        }
         break;
       case HeOpKind::kMul:
-        st.cts[h] = bgv_ ? bgv_->mul(ct(op.a), ct(op.b))
-                         : ckks_->mul(ct(op.a), ct(op.b));
+        m.cts[h] = bgv_ ? bgv_->mul(ct(op.a), ct(op.b))
+                        : ckks_->mul(ct(op.a), ct(op.b));
         break;
       case HeOpKind::kRotate:
-        st.cts[h] = bgv_ ? bgv_->rotate(ct(op.a), op.rotateBy)
-                         : ckks_->rotate(ct(op.a), op.rotateBy);
+        m.cts[h] = bgv_ ? bgv_->rotate(ct(op.a), op.rotateBy)
+                        : ckks_->rotate(ct(op.a), op.rotateBy);
         break;
       case HeOpKind::kConjugate:
-        st.cts[h] = bgv_ ? bgv_->conjugate(ct(op.a))
-                         : ckks_->conjugate(ct(op.a));
+        m.cts[h] = bgv_ ? bgv_->conjugate(ct(op.a))
+                        : ckks_->conjugate(ct(op.a));
         break;
       case HeOpKind::kModSwitch:
-        st.cts[h] = bgv_ ? bgv_->modSwitch(ct(op.a))
-                         : ckks_->rescale(ct(op.a));
+        m.cts[h] = bgv_ ? bgv_->modSwitch(ct(op.a))
+                        : ckks_->rescale(ct(op.a));
         break;
       case HeOpKind::kOutput:
-        st.outs[h] = ct(op.a);
+        m.outs[h] = ct(op.a);
         break;
     }
 }
@@ -427,13 +532,14 @@ OpGraphExecutor::executeOp(int h, RunState &st) const
 /**
  * executeOp plus this run's telemetry. The telemetry-off path is one
  * null check and a tail call — no clock reads, which is what keeps
- * disabled runs inside the <1% overhead budget.
+ * disabled runs inside the <1% overhead budget. Under batching the
+ * trace carries one span per (op, member).
  */
 void
-OpGraphExecutor::runOp(int h, RunState &st) const
+OpGraphExecutor::runOp(int h, RunState &st, Member &m) const
 {
     if (st.collector == nullptr && st.tracer == nullptr) {
-        executeOp(h, st);
+        executeOp(h, st, m);
         return;
     }
     const HeOp &op = prog_.ops()[h];
@@ -441,7 +547,7 @@ OpGraphExecutor::runOp(int h, RunState &st) const
         // Tracer timestamps are steady-clock ns past the tracer's
         // epoch, so the span pair doubles as the op duration.
         const int64_t t0 = st.tracer->nowNs();
-        executeOp(h, st);
+        executeOp(h, st, m);
         const int64_t ns = st.tracer->nowNs() - t0;
         if (st.collector != nullptr)
             st.collector->addOp(size_t(op.kind), uint64_t(ns));
@@ -453,12 +559,26 @@ OpGraphExecutor::runOp(int h, RunState &st) const
         return;
     }
     const auto c0 = std::chrono::steady_clock::now();
-    executeOp(h, st);
+    executeOp(h, st, m);
     const int64_t ns =
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - c0)
             .count();
     st.collector->addOp(size_t(op.kind), uint64_t(ns));
+}
+
+/**
+ * The batching primitive: op `h` runs for every member back to back,
+ * so the hint-cache entries, twiddle tables, and scratch buffers the
+ * op touches stay hot across the whole batch, and the scheduler pays
+ * its per-op cost (pops, retire bookkeeping, priority maintenance)
+ * once per batch instead of once per job.
+ */
+void
+OpGraphExecutor::runOpAllMembers(int h, RunState &st) const
+{
+    for (Member &m : st.members)
+        runOp(h, st, m);
 }
 
 /**
@@ -497,14 +617,13 @@ OpGraphExecutor::runSerial(RunState &st) const
         const HeOp &op = ops[h];
         if (isSource(op))
             continue;
-        runOp(h, st);
+        runOpAllMembers(h, st);
         if (producesCiphertext(op))
             ++st.resident;
-        st.result.peakResidentCiphertexts =
-            std::max(st.result.peakResidentCiphertexts, st.resident);
+        st.peakResident = std::max(st.peakResident, st.resident);
         retireOp(h, st, ignored);
-        ++st.result.wavefronts;
-        st.result.maxWavefrontWidth = 1;
+        ++st.wavefronts;
+        st.maxWavefrontWidth = 1;
     }
 }
 
@@ -531,24 +650,30 @@ OpGraphExecutor::runWavefront(RunState &st,
     }
     std::sort(ready.begin(), ready.end(), byPriority);
 
+    // The parallel grain is (op, member): a round with R ready ops
+    // and B members dispatches R*B bodies, so a wide batch keeps the
+    // pool saturated even on narrow program regions. Index order is
+    // op-major (member minor), so the inline fallback runs each op
+    // across all members back to back — the batching locality the
+    // fused traversal exists for.
+    const size_t B = st.members.size();
     std::vector<int> next;
     while (!ready.empty()) {
-        ++st.result.wavefronts;
-        st.result.maxWavefrontWidth =
-            std::max(st.result.maxWavefrontWidth, ready.size());
-        if (ready.size() == 1) {
-            runOp(ready[0], st);
+        ++st.wavefronts;
+        st.maxWavefrontWidth =
+            std::max(st.maxWavefrontWidth, ready.size());
+        if (ready.size() * B == 1) {
+            runOp(ready[0], st, st.members[0]);
         } else {
-            parallelFor(0, ready.size(), [&](size_t i) {
-                runOp(ready[i], st);
+            parallelFor(0, ready.size() * B, [&](size_t i) {
+                runOp(ready[i / B], st, st.members[i % B]);
             });
         }
         for (int h : ready) {
             if (producesCiphertext(ops[h]))
                 ++st.resident;
         }
-        st.result.peakResidentCiphertexts =
-            std::max(st.result.peakResidentCiphertexts, st.resident);
+        st.peakResident = std::max(st.peakResident, st.resident);
         next.clear();
         for (int h : ready)
             retireOp(h, st, next);
@@ -614,7 +739,7 @@ OpGraphExecutor::runWorkStealing(RunState &st,
             ++totalWork;
     std::atomic<size_t> remaining{totalWork};
     std::atomic<size_t> resident{st.resident};
-    std::atomic<size_t> peakResident{st.result.peakResidentCiphertexts};
+    std::atomic<size_t> peakResident{st.peakResident};
     std::atomic<size_t> steals{0};
     // Ops concurrently in flight; the peak is WS's analogue of the
     // wavefront scheduler's maxWavefrontWidth (see ExecutionResult).
@@ -661,13 +786,19 @@ OpGraphExecutor::runWorkStealing(RunState &st,
     };
 
     auto releaseCt = [&](int h) {
-        st.cts[h].reset();
+        for (Member &m : st.members)
+            m.cts[h].reset();
         resident.fetch_sub(1, std::memory_order_relaxed);
         if (st.tracer != nullptr)
             st.tracer->instant(obs::TraceEventKind::kRelease, h,
                                st.tracer->nowNs());
     };
 
+    // The WS work unit stays one op across ALL members: the op is
+    // popped once, its hint/twiddle working set is touched once, and
+    // only then do dependents unlock — exactly the amortization the
+    // coalescer buys. Member outputs are disjoint, so no member-level
+    // synchronization is needed.
     auto runOne = [&](size_t wid, int h) {
         const size_t now =
             running.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -676,7 +807,7 @@ OpGraphExecutor::runWorkStealing(RunState &st,
                !peakRunning.compare_exchange_weak(
                    wide, now, std::memory_order_relaxed)) {
         }
-        runOp(h, st);
+        runOpAllMembers(h, st);
         running.fetch_sub(1, std::memory_order_relaxed);
         if (producesCiphertext(ops[h])) {
             const size_t cur =
@@ -758,10 +889,9 @@ OpGraphExecutor::runWorkStealing(RunState &st,
         std::rethrow_exception(firstError);
 
     st.resident = resident.load(std::memory_order_relaxed);
-    st.result.peakResidentCiphertexts =
-        peakResident.load(std::memory_order_relaxed);
-    st.result.steals = steals.load(std::memory_order_relaxed);
-    st.result.maxWavefrontWidth =
+    st.peakResident = peakResident.load(std::memory_order_relaxed);
+    st.steals = steals.load(std::memory_order_relaxed);
+    st.maxWavefrontWidth =
         peakRunning.load(std::memory_order_relaxed);
 }
 
@@ -769,8 +899,19 @@ ExecutionResult
 OpGraphExecutor::execute(const RuntimeInputs &in,
                          const ExecutionPolicy &policy) const
 {
+    auto results =
+        executeBatch(std::span<const RuntimeInputs>(&in, 1), policy);
+    return std::move(results.front());
+}
+
+std::vector<ExecutionResult>
+OpGraphExecutor::executeBatch(std::span<const RuntimeInputs> inputs,
+                              const ExecutionPolicy &policy) const
+{
     const auto &ops = prog_.ops();
     const size_t n = ops.size();
+    const size_t B = inputs.size();
+    F1_REQUIRE(B > 0, "executeBatch needs at least one member");
     if (policy.scheduleHints != nullptr) {
         F1_REQUIRE(policy.scheduleHints->size() == n,
                    "schedule hints describe "
@@ -779,10 +920,13 @@ OpGraphExecutor::execute(const RuntimeInputs &in,
     }
 
     RunState st;
-    st.cts.resize(n);
-    st.outs.resize(n);
-    st.bgvPts.resize(n);
-    st.ckksPts.resize(n);
+    st.members.resize(B);
+    for (Member &m : st.members) {
+        m.cts.resize(n);
+        m.outs.resize(n);
+        m.bgvPts.resize(n);
+        m.ckksSlots.resize(n);
+    }
     st.indeg = indegree_;
     st.uses = consumers_;
     st.encCache = policy.encodingCache;
@@ -792,7 +936,9 @@ OpGraphExecutor::execute(const RuntimeInputs &in,
     // The ProfileScope around each phase makes pool batches dispatched
     // from it inherit the collector (see ThreadPool::run), so nested
     // limb-parallel work is attributed to this run — and a run WITHOUT
-    // a collector shadows any outer one instead of polluting it.
+    // a collector shadows any outer one instead of polluting it. A
+    // batch collects ONE profile/trace for the whole traversal and
+    // shares it across members' results.
     std::unique_ptr<obs::ProfileCollector> collector;
     std::unique_ptr<obs::Tracer> tracer;
     if (policy.telemetry.profile)
@@ -808,12 +954,14 @@ OpGraphExecutor::execute(const RuntimeInputs &in,
     for (const HeOp &op : ops)
         if (!isSource(op))
             ++totalWork;
-    st.result.opsExecuted = totalWork;
 
+    // Prepare members serially, each from its own Rng(seed): member
+    // i's prepared state is byte-for-byte what a solo run would build.
     const double p0 = steadyNowMs();
     {
         obs::ProfileScope profScope(st.collector);
-        prepare(in, st);
+        for (size_t b = 0; b < B; ++b)
+            prepare(inputs[b], st, st.members[b], b == 0);
     }
     const double prepareMs = steadyNowMs() - p0;
 
@@ -832,14 +980,9 @@ OpGraphExecutor::execute(const RuntimeInputs &in,
             break;
         }
     }
-    st.result.wallMs = steadyNowMs() - t0;
+    const double wallMs = steadyNowMs() - t0;
 
-    for (size_t i = 0; i < n; ++i) {
-        if (ops[i].kind == HeOpKind::kOutput)
-            st.result.outputs[static_cast<int>(i)] =
-                std::move(*st.outs[i]);
-    }
-
+    std::shared_ptr<const obs::ExecutionProfile> profile;
     if (collector) {
         auto prof = std::make_shared<obs::ExecutionProfile>();
         prof->label = policy.telemetry.label;
@@ -866,28 +1009,54 @@ OpGraphExecutor::execute(const RuntimeInputs &in,
             counter(obs::ProfileCounter::kBasisExtend);
         prof->cacheHits = counter(obs::ProfileCounter::kCacheHit);
         prof->cacheMisses = counter(obs::ProfileCounter::kCacheMiss);
-        prof->encodingCacheHits = st.result.encodingCacheHits;
-        prof->encodingCacheMisses = st.result.encodingCacheMisses;
+        for (const Member &m : st.members) {
+            prof->encodingCacheHits += m.encodingCacheHits;
+            prof->encodingCacheMisses += m.encodingCacheMisses;
+        }
         prof->scratchPeakWords = collector->scratchPeakWords.load(
             std::memory_order_relaxed);
         prof->prepareMs = prepareMs;
-        prof->executeMs = st.result.wallMs;
-        st.result.profile = std::move(prof);
+        prof->executeMs = wallMs;
+        profile = std::move(prof);
     }
+    std::shared_ptr<const obs::Trace> trace;
     if (tracer)
-        st.result.trace =
-            std::make_shared<const obs::Trace>(tracer->finish());
+        trace = std::make_shared<const obs::Trace>(tracer->finish());
+
+    std::vector<ExecutionResult> results(B);
+    for (size_t b = 0; b < B; ++b) {
+        ExecutionResult &r = results[b];
+        Member &m = st.members[b];
+        r.wallMs = wallMs;
+        r.opsExecuted = totalWork;
+        r.batchSize = B;
+        r.peakResidentCiphertexts = st.peakResident;
+        r.wavefronts = st.wavefronts;
+        r.maxWavefrontWidth = st.maxWavefrontWidth;
+        r.steals = st.steals;
+        r.encodingCacheHits = m.encodingCacheHits;
+        r.encodingCacheMisses = m.encodingCacheMisses;
+        r.profile = profile;
+        r.trace = trace;
+        for (size_t i = 0; i < n; ++i) {
+            if (ops[i].kind == HeOpKind::kOutput)
+                r.outputs[static_cast<int>(i)] =
+                    std::move(*m.outs[i]);
+        }
+    }
 
     // Registry fold: cheap per-RUN (not per-op) aggregate metrics,
     // always on — this is the "one snapshot" the bespoke stats structs
-    // used to scatter.
+    // used to scatter. A batch counts one run per member and the full
+    // fused op count (op x member), so executor.ops stays "homomorphic
+    // ops actually executed" whether jobs batched or not.
     ExecutorMetrics &em = ExecutorMetrics::get();
-    em.runs.inc();
-    em.ops.inc(st.result.opsExecuted);
-    em.steals.inc(st.result.steals);
-    em.executeMs.observe(st.result.wallMs);
+    em.runs.inc(B);
+    em.ops.inc(totalWork * B);
+    em.steals.inc(st.steals);
+    em.executeMs.observe(wallMs);
 
-    return st.result;
+    return results;
 }
 
 } // namespace f1

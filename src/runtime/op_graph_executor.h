@@ -124,6 +124,15 @@ struct RuntimeInputs
  *    kWorkStealing reports 0 rounds (it has none) and the peak number
  *    of ops concurrently in flight as the width.
  *  - steals: nonzero only under kWorkStealing; 0 elsewhere.
+ *
+ * Batched execution (executeBatch) returns one ExecutionResult per
+ * batch member. outputs / encodingCache{Hits,Misses} / opsExecuted /
+ * peakResidentCiphertexts are per member (identical to what a solo
+ * run of that member reports, ciphertext-count-wise, because every
+ * member walks the same graph); wallMs / wavefronts /
+ * maxWavefrontWidth / steals describe the one shared traversal and
+ * repeat across members; profile and trace, when enabled, are
+ * collected once for the whole batch and shared by every member.
  */
 struct ExecutionResult
 {
@@ -134,8 +143,13 @@ struct ExecutionResult
      *  the prepare phase and not counted). */
     size_t opsExecuted = 0;
 
-    /** High-water mark of simultaneously live ciphertexts (inputs and
-     *  intermediates; outputs are copied out and not counted). */
+    /** Members fused into the traversal that produced this result
+     *  (1 for execute()). */
+    size_t batchSize = 1;
+
+    /** High-water mark of simultaneously live ciphertexts PER MEMBER
+     *  (inputs and intermediates; outputs are copied out and not
+     *  counted). A batch holds batchSize times this many. */
     size_t peakResidentCiphertexts = 0;
 
     size_t wavefronts = 0;        //!< dispatch rounds (0 under WS)
@@ -158,11 +172,19 @@ struct ExecutionResult
  * fingerprint plus a hash of the slot data. Content addressing (rather
  * than (program, handle) addressing) keeps the cache correct across
  * tenants that reuse a program shape with different constants.
+ *
+ * BGV encodings depend only on (params, slots), so shapeFp stays 0.
+ * CKKS encodings additionally depend on the encoding scale and the
+ * ciphertext level they are lifted to, so shapeFp folds both in —
+ * the same slot data encoded at two scales occupies two entries. The
+ * scheme tag inside paramsFp keeps the two key spaces disjoint, so
+ * one shared cache serves mixed traffic.
  */
 struct EncodingKey
 {
-    uint64_t paramsFp = 0;
-    uint64_t dataHash = 0;
+    uint64_t paramsFp = 0; //!< scheme tag + ring/modulus fingerprint
+    uint64_t dataHash = 0; //!< content hash of the slot data
+    uint64_t shapeFp = 0;  //!< CKKS (scale, level); 0 for BGV
     bool operator==(const EncodingKey &) const = default;
 };
 
@@ -171,13 +193,21 @@ struct EncodingKeyHash
     size_t
     operator()(const EncodingKey &k) const
     {
-        return static_cast<size_t>(k.paramsFp ^ k.dataHash);
+        return static_cast<size_t>(k.paramsFp ^ k.dataHash ^
+                                   (k.shapeFp * 0x9e3779b97f4a7c15ULL));
     }
 };
 
-/** Shared cache of BGV slot encodings (the serving engine owns one). */
+/**
+ * A cached plaintext encoding: BGV centered coefficients, or a CKKS
+ * plaintext polynomial already lifted to its target (scale, level).
+ */
+using EncodedPlaintext = std::variant<std::vector<int64_t>, RnsPoly>;
+
+/** Shared cache of plaintext encodings for BOTH schemes (the serving
+ *  engine owns one and passes it to every job). */
 using EncodingCache =
-    LruCache<EncodingKey, std::vector<int64_t>, EncodingKeyHash>;
+    LruCache<EncodingKey, EncodedPlaintext, EncodingKeyHash>;
 
 /**
  * Everything that shapes one execution, in one struct — the runtime
@@ -215,9 +245,29 @@ class OpGraphExecutor
     OpGraphExecutor(const Program &prog, BgvScheme *bgv);
     OpGraphExecutor(const Program &prog, CkksScheme *ckks);
 
-    /** The single entry point: runs `in` under `policy`. */
+    /** The single-job entry point: runs `in` under `policy`.
+     *  Equivalent to executeBatch with a one-element span. */
     ExecutionResult execute(const RuntimeInputs &in = {},
                             const ExecutionPolicy &policy = {}) const;
+
+    /**
+     * Fused execution of `inputs.size()` jobs of THIS program in one
+     * graph traversal: each HeOp is dispatched once and executed
+     * across every batch member before its operands are released, so
+     * per-op overhead (ready-set pops, hint-cache probes, scheduling
+     * bookkeeping, encoding-cache lookups) amortizes over the batch —
+     * the serving engine's coalescer feeds identical-program jobs
+     * here. Returns one ExecutionResult per member, in input order.
+     *
+     * Determinism: member i's outputs are bit-identical to a solo
+     * execute(inputs[i], policy) — prepare() draws each member's
+     * randomness from its own Rng(seed) in program order, and every
+     * homomorphic op is a pure function of one member's operands, so
+     * fusion shares scheduling and caches but never data.
+     */
+    std::vector<ExecutionResult>
+    executeBatch(std::span<const RuntimeInputs> inputs,
+                 const ExecutionPolicy &policy = {}) const;
 
     //
     // Deprecated pre-policy shims. They fold into a stored
@@ -248,13 +298,22 @@ class OpGraphExecutor
 
   private:
     struct RunState;
+    struct Member;
 
     void buildGraph();
-    void prepare(const RuntimeInputs &in, RunState &st) const;
+    void prepare(const RuntimeInputs &in, RunState &st,
+                 Member &m, bool first) const;
     std::shared_ptr<const std::vector<int64_t>>
-    encodeBgvPlain(std::span<const uint64_t> slots, RunState &st) const;
-    void executeOp(int h, RunState &st) const;
-    void runOp(int h, RunState &st) const; //!< executeOp + telemetry
+    encodeBgvPlain(std::span<const uint64_t> slots, RunState &st,
+                   Member &m) const;
+    std::shared_ptr<const RnsPoly>
+    encodeCkksPlain(std::span<const std::complex<double>> slots,
+                    double scale, size_t level, RunState &st,
+                    Member &m) const;
+    void executeOp(int h, RunState &st, Member &m) const;
+    //! executeOp + telemetry
+    void runOp(int h, RunState &st, Member &m) const;
+    void runOpAllMembers(int h, RunState &st) const;
     void retireOp(int h, RunState &st,
                   std::vector<int> &readyOut) const;
     void runSerial(RunState &st) const;

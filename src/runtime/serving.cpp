@@ -1,9 +1,10 @@
 #include "runtime/serving.h"
 
+#include <optional>
+
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/time_util.h"
-#include "obs/metrics.h"
 
 namespace f1 {
 
@@ -15,36 +16,109 @@ struct ServingMetrics
     obs::Counter &submitted;
     obs::Counter &completed;
     obs::Counter &failed;
+    obs::Counter &shed;
     obs::Histogram &queueMs;
     obs::Histogram &serviceMs;
+    obs::Histogram &batchSize;
 
     static ServingMetrics &
     get()
     {
+        static constexpr double kBatchBounds[] = {1,  2,  4,  8,
+                                                  16, 32, 64, 128};
         auto &reg = obs::MetricsRegistry::global();
         static ServingMetrics m{
             reg.counter("serving.jobs_submitted"),
             reg.counter("serving.jobs_completed"),
             reg.counter("serving.jobs_failed"),
+            reg.counter("serving.shed_jobs"),
             reg.histogram("serving.queue_ms"),
             reg.histogram("serving.service_ms"),
+            reg.histogram("serving.batch_size", kBatchBounds),
         };
         return m;
     }
 };
 
+uint64_t
+counterOrZero(const obs::MetricsSnapshot &snap, const char *name)
+{
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+}
+
 } // namespace
 
+AdmissionController::Decision
+AdmissionController::decide(const obs::MetricsSnapshot &snap,
+                            const TenantPolicy &tenant,
+                            size_t tenantQueueDepth) const
+{
+    Decision d;
+    if (tenant.maxQueueDepth != 0 &&
+        tenantQueueDepth >= tenant.maxQueueDepth) {
+        d.admit = false;
+        std::ostringstream os;
+        os << "tenant queue depth " << tenantQueueDepth
+           << " at its cap " << tenant.maxQueueDepth;
+        d.reason = os.str();
+        return d;
+    }
+    if (limits_.maxBacklog != 0) {
+        const uint64_t sub =
+            counterOrZero(snap, "serving.jobs_submitted");
+        const uint64_t done =
+            counterOrZero(snap, "serving.jobs_completed");
+        const uint64_t fail =
+            counterOrZero(snap, "serving.jobs_failed");
+        const uint64_t backlog =
+            sub > done + fail ? sub - done - fail : 0;
+        if (backlog >= limits_.maxBacklog) {
+            d.admit = false;
+            std::ostringstream os;
+            os << "fleet backlog " << backlog << " at its cap "
+               << limits_.maxBacklog
+               << " (serving.jobs_submitted - completed - failed)";
+            d.reason = os.str();
+            return d;
+        }
+    }
+    if (limits_.maxQueueP95Ms > 0) {
+        auto it = snap.histograms.find("serving.queue_ms");
+        if (it != snap.histograms.end() && it->second.count > 0) {
+            const double p95 = it->second.quantile(0.95);
+            if (p95 > limits_.maxQueueP95Ms) {
+                d.admit = false;
+                std::ostringstream os;
+                os << "serving.queue_ms p95 " << p95
+                   << "ms over the limit " << limits_.maxQueueP95Ms
+                   << "ms";
+                d.reason = os.str();
+                return d;
+            }
+        }
+    }
+    return d;
+}
+
+AdmissionController::Decision
+AdmissionController::decide(const TenantPolicy &tenant,
+                            size_t tenantQueueDepth) const
+{
+    return decide(obs::MetricsRegistry::global().snapshot(), tenant,
+                  tenantQueueDepth);
+}
+
 ServingEngine::ServingEngine(BgvScheme *bgv, ServingConfig cfg)
-    : bgv_(bgv), cfg_(cfg),
-      encCache_(cfg.encodingCacheCapacity, "serving_encoding")
+    : bgv_(bgv), cfg_(std::move(cfg)), admission_(cfg_.admission),
+      encCache_(cfg_.encodingCacheCapacity, "serving_encoding")
 {
     start();
 }
 
 ServingEngine::ServingEngine(CkksScheme *ckks, ServingConfig cfg)
-    : ckks_(ckks), cfg_(cfg),
-      encCache_(cfg.encodingCacheCapacity, "serving_encoding")
+    : ckks_(ckks), cfg_(std::move(cfg)), admission_(cfg_.admission),
+      encCache_(cfg_.encodingCacheCapacity, "serving_encoding")
 {
     start();
 }
@@ -52,6 +126,19 @@ ServingEngine::ServingEngine(CkksScheme *ckks, ServingConfig cfg)
 void
 ServingEngine::start()
 {
+    if (cfg_.maxBatch == 0)
+        cfg_.maxBatch = 1;
+    // Gauges read the lock-free mirrors, never m_: a registry
+    // snapshot holds the registry lock while evaluating gauges, and a
+    // submit() path may snapshot the registry — an m_-taking gauge
+    // would be a lock-order inversion.
+    auto &reg = obs::MetricsRegistry::global();
+    depthGauge_ = reg.gauge("serving.queue_depth", [this] {
+        return uint64_t(depthNow_.load(std::memory_order_relaxed));
+    });
+    depthPeakGauge_ = reg.gauge("serving.queue_depth_peak", [this] {
+        return uint64_t(depthPeak_.load(std::memory_order_relaxed));
+    });
     const unsigned n =
         cfg_.workers == 0 ? configuredThreadCount() : cfg_.workers;
     workers_.reserve(n);
@@ -75,22 +162,63 @@ ServingEngine::~ServingEngine()
         w.join();
 }
 
+const TenantPolicy &
+ServingEngine::policyFor(const std::string &tenant) const
+{
+    auto it = cfg_.tenantPolicies.find(tenant);
+    return it == cfg_.tenantPolicies.end() ? cfg_.defaultTenantPolicy
+                                           : it->second;
+}
+
 std::future<JobResult>
 ServingEngine::submit(JobRequest req)
 {
-    F1_REQUIRE(req.program != nullptr, "job without a program");
+    F1_REQUIRE(req.program != nullptr,
+               "JobRequest::program is null; submit() stores program "
+               "and hints as bare pointers, so pass a live Program "
+               "that outlives the job's future");
+    const TenantPolicy &tp = policyFor(req.tenant);
+
+    // Snapshot the registry BEFORE taking m_ (the snapshot evaluates
+    // gauges across the process; keeping it outside our lock keeps
+    // the lock graph acyclic). Skipped entirely when no admission
+    // limit is configured — the default submit path stays cheap.
+    const bool needsAdmission =
+        tp.maxQueueDepth != 0 || admission_.limits().maxBacklog != 0 ||
+        admission_.limits().maxQueueP95Ms > 0;
+    std::optional<obs::MetricsSnapshot> snap;
+    if (needsAdmission)
+        snap = obs::MetricsRegistry::global().snapshot();
+
     std::future<JobResult> fut;
     {
         std::lock_guard<std::mutex> lock(m_);
         F1_REQUIRE(accepting_, "engine is shutting down");
+
+        if (needsAdmission) {
+            auto qit = queues_.find(req.tenant);
+            const size_t depth =
+                qit == queues_.end() ? 0 : qit->second.size();
+            const AdmissionController::Decision d =
+                admission_.decide(*snap, tp, depth);
+            if (!d.admit) {
+                ServingMetrics::get().shed.inc();
+                ++stats_.shed;
+                throw AdmissionRejected("job shed for tenant \"" +
+                                        req.tenant + "\": " + d.reason);
+            }
+        }
+
         Job job;
         job.id = nextJobId_++;
         job.req = std::move(req);
         job.submitMs = steadyNowMs();
+        job.programFp = job.req.program->fingerprint();
+        job.priority = tp.priority;
+        job.deadlineAtMs = job.submitMs + tp.deadlineMs;
         fut = job.promise.get_future();
 
-        auto [it, inserted] =
-            queues_.try_emplace(job.req.tenant);
+        auto [it, inserted] = queues_.try_emplace(job.req.tenant);
         if (inserted)
             tenantOrder_.push_back(job.req.tenant);
         it->second.push_back(std::move(job));
@@ -99,111 +227,201 @@ ServingEngine::submit(JobRequest req)
         ServingMetrics::get().submitted.inc();
         stats_.peakQueueDepth =
             std::max(stats_.peakQueueDepth, pending_);
+        depthNow_.store(pending_, std::memory_order_relaxed);
+        depthPeak_.store(stats_.peakQueueDepth,
+                         std::memory_order_relaxed);
     }
     cvWork_.notify_one();
     return fut;
 }
 
 bool
-ServingEngine::popJob(Job &out)
+ServingEngine::popBatch(std::vector<Job> &out)
 {
-    // Called with m_ held. Scans tenants round-robin from the cursor;
-    // the cursor advances past the tenant served, so a tenant with a
-    // deep queue yields to every other tenant between its jobs.
+    // Called with m_ held. Stage 2 of the pipeline: pick the dispatch
+    // head under the configured policy, then coalesce.
     const size_t n = tenantOrder_.size();
-    for (size_t k = 0; k < n; ++k) {
-        const size_t idx = (rrCursor_ + k) % n;
-        auto &q = queues_[tenantOrder_[idx]];
-        if (q.empty())
-            continue;
-        out = std::move(q.front());
-        q.pop_front();
-        rrCursor_ = (idx + 1) % n;
-        return true;
+    size_t leadIdx = n;
+    if (cfg_.scheduling == SchedulingPolicy::kRoundRobin) {
+        // Scan tenants round-robin from the cursor; the cursor
+        // advances past the tenant served, so a tenant with a deep
+        // queue yields to every other tenant between its jobs.
+        for (size_t k = 0; k < n; ++k) {
+            const size_t idx = (rrCursor_ + k) % n;
+            if (!queues_[tenantOrder_[idx]].empty()) {
+                leadIdx = idx;
+                rrCursor_ = (idx + 1) % n;
+                break;
+            }
+        }
+    } else {
+        // kDeadline: a tenant's class is fixed and its queue is FIFO,
+        // so each queue's front is that tenant's most urgent job —
+        // scanning fronts finds the global (priority, EDF) head.
+        const Job *best = nullptr;
+        for (size_t idx = 0; idx < n; ++idx) {
+            auto &q = queues_[tenantOrder_[idx]];
+            if (q.empty())
+                continue;
+            const Job &c = q.front();
+            const bool wins =
+                best == nullptr || c.priority > best->priority ||
+                (c.priority == best->priority &&
+                 (c.deadlineAtMs < best->deadlineAtMs ||
+                  (c.deadlineAtMs == best->deadlineAtMs &&
+                   c.id < best->id)));
+            if (wins) {
+                best = &c;
+                leadIdx = idx;
+            }
+        }
     }
-    return false;
+    if (leadIdx == n)
+        return false;
+
+    auto &leadQ = queues_[tenantOrder_[leadIdx]];
+    out.push_back(std::move(leadQ.front()));
+    leadQ.pop_front();
+
+    // Coalesce: pull queued jobs whose program fingerprint matches
+    // the lead's — any tenant, any queue position — up to maxBatch.
+    // Pulling mid-queue jobs forward never reorders RESULTS (each job
+    // resolves its own future) and never changes bits (executeBatch's
+    // determinism contract); it trades strict dispatch order for one
+    // shared traversal, which is the batching win.
+    const uint64_t fp = out.front().programFp;
+    for (size_t k = 0; k < n && out.size() < cfg_.maxBatch; ++k) {
+        auto &q = queues_[tenantOrder_[(leadIdx + k) % n]];
+        for (auto it = q.begin();
+             it != q.end() && out.size() < cfg_.maxBatch;) {
+            if (it->programFp == fp) {
+                out.push_back(std::move(*it));
+                it = q.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    return true;
 }
 
-JobResult
-ServingEngine::runJob(Job &job)
+void
+ServingEngine::runBatch(std::vector<Job> &batch)
 {
-    JobResult res;
-    res.jobId = job.id;
-    res.tenant = job.req.tenant;
     const double startMs = steadyNowMs();
-    res.queueMs = startMs - job.submitMs;
+    ServingMetrics &sm = ServingMetrics::get();
+    sm.batchSize.observe(double(batch.size()));
 
-    OpGraphExecutor exec =
-        bgv_ ? OpGraphExecutor(*job.req.program, bgv_)
-             : OpGraphExecutor(*job.req.program, ckks_);
-    ExecutionPolicy pol = cfg_.policy;
-    pol.encodingCache = &encCache_;
-    if (job.req.hints != nullptr)
-        pol.scheduleHints = job.req.hints;
-    // Tag this job's telemetry artifacts with the tenant, unless the
-    // configured policy already carries an explicit label.
-    if (pol.telemetry.enabled() && pol.telemetry.label.empty())
-        pol.telemetry.label = job.req.tenant;
-    res.exec = exec.execute(job.req.inputs, pol);
-    res.serviceMs = steadyNowMs() - startMs;
-    return res;
+    bool failed = false;
+    std::exception_ptr error;
+    std::vector<JobResult> results;
+    try {
+        const Job &lead = batch.front();
+        OpGraphExecutor exec =
+            bgv_ ? OpGraphExecutor(*lead.req.program, bgv_)
+                 : OpGraphExecutor(*lead.req.program, ckks_);
+        ExecutionPolicy pol = cfg_.policy;
+        pol.encodingCache = &encCache_;
+        if (lead.req.hints != nullptr)
+            pol.scheduleHints = lead.req.hints;
+        // Tag the batch's telemetry artifacts with the tenant when
+        // the whole batch belongs to one, unless the configured
+        // policy already carries an explicit label.
+        if (pol.telemetry.enabled() && pol.telemetry.label.empty()) {
+            bool oneTenant = true;
+            for (const Job &j : batch)
+                oneTenant &= j.req.tenant == lead.req.tenant;
+            pol.telemetry.label =
+                oneTenant ? lead.req.tenant : "batch";
+        }
+
+        std::vector<RuntimeInputs> ins;
+        ins.reserve(batch.size());
+        for (Job &j : batch)
+            ins.push_back(std::move(j.req.inputs));
+        std::vector<ExecutionResult> execs =
+            exec.executeBatch(ins, pol);
+
+        const double endMs = steadyNowMs();
+        results.resize(batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+            results[i].jobId = batch[i].id;
+            results[i].tenant = batch[i].req.tenant;
+            results[i].exec = std::move(execs[i]);
+            results[i].queueMs = startMs - batch[i].submitMs;
+            results[i].serviceMs = endMs - startMs;
+        }
+    } catch (...) {
+        failed = true;
+        error = std::current_exception();
+        for (Job &j : batch)
+            j.promise.set_exception(error);
+    }
+
+    if (failed) {
+        sm.failed.inc(batch.size());
+    } else {
+        sm.completed.inc(batch.size());
+        for (const JobResult &r : results) {
+            sm.queueMs.observe(r.queueMs);
+            sm.serviceMs.observe(r.serviceMs);
+        }
+    }
+
+    // Ordering invariant: every promise is fulfilled BEFORE inFlight_
+    // drops to zero. drain() returns when pending_ == inFlight_ == 0,
+    // and its contract is that every accepted future is ready by
+    // then; fulfilling after the decrement would let drain() (and
+    // the destructor behind it) race ahead of waiters' futures.
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        if (failed) {
+            stats_.failed += batch.size();
+        } else {
+            for (const JobResult &r : results) {
+                ++stats_.completed;
+                ++stats_.completedPerTenant[r.tenant];
+                stats_.encodingCacheHits += r.exec.encodingCacheHits;
+                stats_.encodingCacheMisses +=
+                    r.exec.encodingCacheMisses;
+            }
+        }
+    }
+    if (!failed) {
+        for (size_t i = 0; i < batch.size(); ++i)
+            batch[i].promise.set_value(std::move(results[i]));
+    }
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        inFlight_ -= batch.size();
+        if (pending_ == 0 && inFlight_ == 0)
+            cvDrained_.notify_all();
+    }
 }
 
 void
 ServingEngine::workerLoop()
 {
     for (;;) {
-        Job job;
+        std::vector<Job> batch;
         {
             std::unique_lock<std::mutex> lock(m_);
             cvWork_.wait(lock, [&] { return stop_ || pending_ > 0; });
             if (stop_ && pending_ == 0)
                 return;
-            if (!popJob(job))
+            if (!popBatch(batch))
                 continue;
-            --pending_;
-            ++inFlight_;
+            pending_ -= batch.size();
+            depthNow_.store(pending_, std::memory_order_relaxed);
+            inFlight_ += batch.size();
         }
 
-        bool failed = false;
-        JobResult res;
-        try {
-            if (cfg_.inlineIntraOp) {
-                InlineParallelScope inlineScope;
-                res = runJob(job);
-            } else {
-                res = runJob(job);
-            }
-        } catch (...) {
-            failed = true;
-            job.promise.set_exception(std::current_exception());
-        }
-
-        ServingMetrics &sm = ServingMetrics::get();
-        if (failed) {
-            sm.failed.inc();
+        if (cfg_.inlineIntraOp) {
+            InlineParallelScope inlineScope;
+            runBatch(batch);
         } else {
-            sm.completed.inc();
-            sm.queueMs.observe(res.queueMs);
-            sm.serviceMs.observe(res.serviceMs);
+            runBatch(batch);
         }
-        {
-            std::lock_guard<std::mutex> lock(m_);
-            if (failed) {
-                ++stats_.failed;
-            } else {
-                ++stats_.completed;
-                ++stats_.completedPerTenant[res.tenant];
-                stats_.encodingCacheHits += res.exec.encodingCacheHits;
-                stats_.encodingCacheMisses +=
-                    res.exec.encodingCacheMisses;
-            }
-            --inFlight_;
-            if (pending_ == 0 && inFlight_ == 0)
-                cvDrained_.notify_all();
-        }
-        if (!failed)
-            job.promise.set_value(std::move(res));
     }
 }
 

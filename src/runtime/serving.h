@@ -4,24 +4,44 @@
  * accelerators and BASALISC identify as where deployments live —
  * scheduling many concurrent encrypted jobs, not just fast kernels.
  *
- * Requests are (Program, inputs) jobs tagged with a logical tenant.
- * The engine keeps one FIFO queue per tenant and serves them
- * round-robin, so a tenant flooding the queue cannot starve the
- * others. W worker threads run jobs through the op-graph executor; in
- * the default throughput mode each worker executes its job
- * single-threaded (InlineParallelScope), so concurrency comes from
- * job-level parallelism and jobs never contend for the shared pool —
- * the right trade when independent jobs outnumber cores, which is the
- * serving regime.
+ * Jobs flow through a three-stage pipeline:
  *
- * Caches: a shared LRU over plaintext encodings (content-addressed,
- * see EncodingKey) and the scheme's synchronized key-switch hint
- * cache mean repeated requests skip re-encoding and re-keygen.
+ *  1. ADMIT — submit() consults an AdmissionController, which reads
+ *     the process-wide metrics registry (serving.jobs_* counters and
+ *     the serving.queue_ms p95) plus the tenant's queue depth, and
+ *     sheds load with AdmissionRejected when the engine is over its
+ *     configured limits. Admitted jobs enter their tenant's FIFO
+ *     queue stamped with the tenant class's priority and deadline.
+ *
+ *  2. COALESCE — a dispatching worker picks the most urgent queued
+ *     job (SchedulingPolicy::kDeadline: highest tenant priority, then
+ *     earliest deadline; kRoundRobin preserves the historical
+ *     per-tenant round-robin), then pulls up to maxBatch - 1 more
+ *     queued jobs whose Program has the same content-addressed
+ *     fingerprint — from any tenant, any queue position — into one
+ *     batch. Identical-program jobs are the common serving case (many
+ *     clients of one model), and fusing them shares one DAG
+ *     traversal, one hint warming, and one scheduling pass.
+ *
+ *  3. EXECUTE — the batch runs through
+ *     OpGraphExecutor::executeBatch, which executes each HeOp across
+ *     every batch member before releasing operands; per-op overhead
+ *     amortizes over the batch. In the default throughput mode each
+ *     worker executes its batch single-threaded
+ *     (InlineParallelScope), so concurrency comes from batch-level
+ *     parallelism and batches never contend for the shared pool.
+ *
+ * Caches: a shared LRU over plaintext encodings (content-addressed
+ * for BOTH schemes, see EncodingKey) and the scheme's synchronized
+ * key-switch hint cache mean repeated requests skip re-encoding and
+ * re-keygen.
  *
  * Determinism: job outputs are a pure function of (program, inputs,
- * seed) — independent of worker count, queue interleaving, and other
- * tenants' traffic (tests/test_runtime.cpp asserts bit-identity
- * against isolated execution).
+ * seed) — independent of worker count, queue interleaving, other
+ * tenants' traffic, the scheduling policy, and whether the job ran
+ * solo or fused into a batch (tests/test_runtime.cpp asserts
+ * bit-identity against isolated execution for both schemes and both
+ * policies).
  */
 #ifndef F1_RUNTIME_SERVING_H
 #define F1_RUNTIME_SERVING_H
@@ -36,27 +56,136 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/op_graph_executor.h"
 
 namespace f1 {
 
+/** Dispatch order over queued jobs. */
+enum class SchedulingPolicy : uint8_t {
+    /** Tenant classes: highest priority first, earliest deadline
+     *  within a class (EDF), submit order as the final tie-break. */
+    kDeadline,
+    /** Historical compatibility mode: one job per tenant in
+     *  first-seen tenant order, FIFO within a tenant. Priorities and
+     *  deadlines still stamp JobResult but do not affect order. */
+    kRoundRobin,
+};
+
+/**
+ * One tenant class's scheduling contract. Tenants not named in
+ * ServingConfig::tenantPolicies get ServingConfig::defaultTenantPolicy.
+ */
+struct TenantPolicy
+{
+    /** Dispatch priority under kDeadline; higher runs first. */
+    int priority = 0;
+
+    /** Soft deadline, milliseconds after submit. Orders dispatch
+     *  within a priority class (EDF); it is not a hard guarantee. */
+    double deadlineMs = 1000.0;
+
+    /** Shed when this tenant already has this many queued jobs
+     *  (0 = unlimited). Checked at admission, per tenant, so one
+     *  flooding tenant is shed before it can crowd out the rest. */
+    size_t maxQueueDepth = 0;
+};
+
+/** Engine-wide admission limits (0 disables each check). */
+struct AdmissionLimits
+{
+    /** Shed when the fleet backlog — jobs_submitted minus completed
+     *  minus failed, read from the metrics registry — reaches this. */
+    size_t maxBacklog = 0;
+
+    /** Shed while the registry's serving.queue_ms p95 exceeds this
+     *  (milliseconds). The histogram is cumulative, so this acts on
+     *  the process's whole observed history; benches and tests
+     *  bracket epochs with MetricsRegistry::reset(). */
+    double maxQueueP95Ms = 0;
+};
+
+/** Thrown by ServingEngine::submit when admission sheds the job. */
+class AdmissionRejected : public FatalError
+{
+  public:
+    explicit AdmissionRejected(const std::string &msg)
+        : FatalError(msg)
+    {
+    }
+};
+
+/**
+ * Decides admit/shed for one would-be job. Deliberately stateless:
+ * every decision is computed from a MetricsSnapshot — the same
+ * registry view dashboards export — plus the tenant's queue depth,
+ * NOT from private engine counters, so the shedding behavior is
+ * exactly reproducible from observable metrics (and tests drive it by
+ * staging registry state). ServingEngine owns one and consults it in
+ * submit(); it is also usable standalone for capacity planning.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(AdmissionLimits limits)
+        : limits_(limits)
+    {
+    }
+
+    struct Decision
+    {
+        bool admit = true;
+        std::string reason; //!< set when admit == false
+    };
+
+    /** Decision from an explicit registry snapshot (the testable
+     *  core; pure function of its arguments). */
+    Decision decide(const obs::MetricsSnapshot &snap,
+                    const TenantPolicy &tenant,
+                    size_t tenantQueueDepth) const;
+
+    /** Decision from MetricsRegistry::global().snapshot() (what the
+     *  engine calls on every submit). */
+    Decision decide(const TenantPolicy &tenant,
+                    size_t tenantQueueDepth) const;
+
+    const AdmissionLimits &limits() const { return limits_; }
+
+  private:
+    AdmissionLimits limits_;
+};
+
 struct ServingConfig
 {
-    /** Concurrent job workers; 0 = configuredThreadCount(). */
+    /** Concurrent batch workers; 0 = configuredThreadCount(). */
     unsigned workers = 0;
 
     /** Entries in the shared plaintext-encoding cache. */
     size_t encodingCacheCapacity = 1024;
 
     /**
-     * true (throughput mode): each worker runs its job
-     * single-threaded. false (latency mode): jobs use the shared pool
-     * for op/limb parallelism and contend with each other.
+     * true (throughput mode): each worker runs its batch
+     * single-threaded. false (latency mode): batches use the shared
+     * pool for op/limb parallelism and contend with each other.
      */
     bool inlineIntraOp = true;
 
+    /** Dispatch order over queued jobs (stage 2 of the pipeline). */
+    SchedulingPolicy scheduling = SchedulingPolicy::kDeadline;
+
+    /** Identical-program jobs fused per execution (1 = no batching).
+     *  Fusion never changes job outputs, only amortizes overhead. */
+    size_t maxBatch = 8;
+
+    /** Engine-wide admission limits (stage 1; 0s admit everything). */
+    AdmissionLimits admission;
+
+    /** Per-tenant classes; tenants not listed get the default. */
+    std::map<std::string, TenantPolicy> tenantPolicies;
+    TenantPolicy defaultTenantPolicy;
+
     /**
-     * Execution policy applied to every job. The engine overrides
+     * Execution policy applied to every batch. The engine overrides
      * encodingCache with its shared cache, and a job carrying its own
      * ScheduleHints (JobRequest::hints) overrides scheduleHints; the
      * other fields pass through as-is.
@@ -73,7 +202,9 @@ struct JobRequest
 
     /** Compiler schedule hints for this job's program (optional; must
      *  outlive the job's future). Overrides ServingConfig's policy
-     *  hints, which can only describe one program shape. */
+     *  hints, which can only describe one program shape. When jobs
+     *  coalesce, the batch lead's hints drive the shared traversal —
+     *  hints affect scheduling order only, never output bits. */
     const ScheduleHints *hints = nullptr;
 };
 
@@ -81,7 +212,7 @@ struct JobResult
 {
     uint64_t jobId = 0;
     std::string tenant;
-    ExecutionResult exec;
+    ExecutionResult exec; //!< exec.batchSize tells how the job ran
     double queueMs = 0;   //!< submit -> worker pickup
     double serviceMs = 0; //!< pickup -> completion (includes prepare)
 };
@@ -89,14 +220,17 @@ struct JobResult
 /**
  * Per-engine counters. Deprecated as an aggregation point: the same
  * totals (fleet-wide, across engines) live in the metrics registry as
- * "serving.jobs_*" counters and "serving.{queue,service}_ms"
- * histograms — prefer MetricsRegistry::global().snapshot().
+ * "serving.jobs_*" / "serving.shed_jobs" counters,
+ * "serving.{queue,service}_ms" / "serving.batch_size" histograms, and
+ * "serving.queue_depth{,_peak}" gauges — prefer
+ * MetricsRegistry::global().snapshot().
  */
 struct ServingStats
 {
     uint64_t submitted = 0;
     uint64_t completed = 0;
     uint64_t failed = 0;
+    uint64_t shed = 0;
     size_t peakQueueDepth = 0;
     uint64_t encodingCacheHits = 0;
     uint64_t encodingCacheMisses = 0;
@@ -116,9 +250,21 @@ class ServingEngine
     ServingEngine &operator=(const ServingEngine &) = delete;
 
     /**
-     * Enqueues a job; the future resolves when it completes (or
-     * carries the job's exception). Throws if called during
-     * destruction.
+     * Admits and enqueues a job; the future resolves when it
+     * completes (or carries the job's exception).
+     *
+     * Lifetime: the engine stores req.program and req.hints as BARE
+     * POINTERS for the queued job's whole life — both must stay alive
+     * until the returned future resolves (or drain() returns). A
+     * destroyed-too-early Program is use-after-free inside a worker,
+     * not a catchable error, so keep them owned by the caller's
+     * longest-lived scope.
+     *
+     * Throws FatalError if req.program is null or the engine is
+     * shutting down, and AdmissionRejected when the admission
+     * controller sheds the job (tenant queue over its cap, fleet
+     * backlog or queue-latency p95 over the configured limits); shed
+     * jobs count into serving.shed_jobs and are never enqueued.
      */
     std::future<JobResult> submit(JobRequest req);
 
@@ -129,6 +275,10 @@ class ServingEngine
     {
         return static_cast<unsigned>(workers_.size());
     }
+
+    /** The admission controller this engine consults (configured
+     *  from ServingConfig::admission). */
+    const AdmissionController &admission() const { return admission_; }
 
     /** Deprecated shim (see ServingStats): per-engine snapshot. */
     ServingStats stats() const;
@@ -144,16 +294,23 @@ class ServingEngine
         JobRequest req;
         std::promise<JobResult> promise;
         double submitMs = 0;
+        uint64_t programFp = 0;  //!< coalescing key
+        int priority = 0;        //!< tenant class, frozen at submit
+        double deadlineAtMs = 0; //!< submitMs + class deadline
     };
 
     void start();
     void workerLoop();
-    bool popJob(Job &out); //!< round-robin across tenant queues
-    JobResult runJob(Job &job);
+    const TenantPolicy &policyFor(const std::string &tenant) const;
+    //! Pops the dispatch head + same-fingerprint jobs; m_ held.
+    bool popBatch(std::vector<Job> &out);
+    //! One fused execution; fulfills every member's promise.
+    void runBatch(std::vector<Job> &batch);
 
     BgvScheme *bgv_ = nullptr;
     CkksScheme *ckks_ = nullptr;
     ServingConfig cfg_;
+    AdmissionController admission_;
     EncodingCache encCache_;
 
     mutable std::mutex m_;
@@ -169,7 +326,18 @@ class ServingEngine
     size_t rrCursor_ = 0;
     ServingStats stats_;
 
+    //! Lock-free mirrors of pending_ / peakQueueDepth so the
+    //! queue-depth gauges never take m_ inside a registry snapshot.
+    std::atomic<size_t> depthNow_{0};
+    std::atomic<size_t> depthPeak_{0};
+
     std::vector<std::thread> workers_;
+
+    //! Declared last: gauge callbacks capture `this`, and GaugeHandle
+    //! destruction (first in reverse member order) unregisters them
+    //! before any engine state they read goes away.
+    obs::GaugeHandle depthGauge_;
+    obs::GaugeHandle depthPeakGauge_;
 };
 
 } // namespace f1

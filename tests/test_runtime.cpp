@@ -4,10 +4,12 @@
  * three ExecutionPolicy schedulers (bit-identity of work-stealing
  * against serial and wavefront order across thread counts and with
  * compiler schedule hints, liveness-based release, cycle rejection,
- * deprecated-shim compatibility), and the multi-tenant serving engine
- * (bit-identity against isolated execution, run-to-run determinism
- * with concurrent jobs in flight, cache hit accounting, round-robin
- * fairness bookkeeping).
+ * deprecated-shim compatibility), batched execution (executeBatch
+ * bit-identity against solo runs for BGV and CKKS, shared encoding
+ * cache accounting), and the multi-tenant serving pipeline (admission
+ * control driven by the metrics registry, coalesced batches matching
+ * isolated execution under both scheduling policies and across worker
+ * counts, queue-depth gauges, shutdown under load).
  */
 #include <gtest/gtest.h>
 
@@ -17,6 +19,7 @@
 
 #include "common/lru_cache.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
 #include "runtime/op_graph_executor.h"
 #include "runtime/serving.h"
 #include "sim/reference_executor.h"
@@ -668,6 +671,500 @@ TEST(ServingEngineTest, RejectsJobWithoutProgram)
     cfg.workers = 1;
     ServingEngine engine(&bgv, cfg);
     EXPECT_THROW(engine.submit(JobRequest{}), FatalError);
+}
+
+//
+// Program fingerprinting (the coalescer's batching key)
+//
+
+TEST(ProgramFingerprintTest, ContentAddressedNameIndependent)
+{
+    Program a(256, 8, "alice");
+    a.output(a.rotate(a.input(), 1));
+    Program b(256, 8, "bob");
+    b.output(b.rotate(b.input(), 1));
+    // Identical structure, different names and addresses: same key.
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+    Program c(256, 8, "alice");
+    c.output(c.rotate(c.input(), 2)); // only the rotation differs
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+
+    EXPECT_NE(diamondProgram().fingerprint(),
+              chainProgram().fingerprint());
+    EXPECT_EQ(diamondProgram().fingerprint(),
+              diamondProgram().fingerprint());
+}
+
+//
+// Batched execution (executeBatch)
+//
+
+TEST(OpGraphExecutorTest, ExecuteBatchMatchesSoloBgv)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    OpGraphExecutor exec(p, &bgv);
+
+    constexpr size_t kBatch = 5;
+    std::vector<RuntimeInputs> ins(kBatch);
+    for (size_t i = 0; i < kBatch; ++i)
+        ins[i].seed = 300 + i;
+
+    for (SchedulerKind s :
+         {SchedulerKind::kSerial, SchedulerKind::kWavefront,
+          SchedulerKind::kWorkStealing}) {
+        ExecutionPolicy pol;
+        pol.scheduler = s;
+        auto batch = exec.executeBatch(ins, pol);
+        ASSERT_EQ(batch.size(), kBatch);
+        for (size_t i = 0; i < kBatch; ++i) {
+            auto solo = exec.execute(ins[i], pol);
+            expectIdenticalOutputs(solo, batch[i]);
+            EXPECT_EQ(batch[i].batchSize, kBatch);
+            EXPECT_EQ(solo.batchSize, 1u);
+            EXPECT_EQ(batch[i].opsExecuted, solo.opsExecuted);
+            // Resident-ciphertext accounting is per member, so the
+            // deterministic scheduler reports exactly the solo peak.
+            if (s == SchedulerKind::kSerial)
+                EXPECT_EQ(batch[i].peakResidentCiphertexts,
+                          solo.peakResidentCiphertexts);
+        }
+    }
+}
+
+TEST(OpGraphExecutorTest, ExecuteBatchMatchesSoloCkks)
+{
+    FheContext ctx(smallParams());
+    CkksScheme ckks(&ctx);
+    Program p(256, 8, "ckks-batch");
+    int x = p.input();
+    int w = p.inputPlain();
+    int v = p.inputPlain();
+    int a = p.mulPlain(x, w);
+    int r = p.modSwitch(a); // rescale
+    int s = p.addPlain(r, v);
+    int b = p.rotate(s, 1);
+    p.output(p.add(b, s));
+    OpGraphExecutor exec(p, &ckks);
+
+    constexpr size_t kBatch = 4;
+    std::vector<RuntimeInputs> ins(kBatch);
+    for (size_t i = 0; i < kBatch; ++i)
+        ins[i].seed = 700 + i;
+
+    for (SchedulerKind sched :
+         {SchedulerKind::kSerial, SchedulerKind::kWorkStealing}) {
+        ExecutionPolicy pol;
+        pol.scheduler = sched;
+        auto batch = exec.executeBatch(ins, pol);
+        ASSERT_EQ(batch.size(), kBatch);
+        for (size_t i = 0; i < kBatch; ++i)
+            expectIdenticalOutputs(exec.execute(ins[i], pol),
+                                   batch[i]);
+    }
+}
+
+TEST(OpGraphExecutorTest, ExecuteBatchSharesCkksEncodingCache)
+{
+    FheContext ctx(smallParams());
+    CkksScheme ckks(&ctx);
+    Program p(256, 8, "ckks-weights");
+    int x = p.input();
+    int w = p.inputPlain();
+    int v = p.inputPlain();
+    int a = p.mulPlain(x, w); // encodes w at (defaultScale, L)
+    int r = p.modSwitch(a);
+    p.output(p.addPlain(r, v)); // encodes v at (r.scale, L-1)
+    OpGraphExecutor exec(p, &ckks);
+
+    // All members bind the SAME weights (the shared-model serving
+    // case) but encrypt different inputs.
+    std::vector<std::complex<double>> weights(128), bias(128);
+    for (size_t i = 0; i < 128; ++i) {
+        weights[i] = {0.25 + 0.001 * double(i), 0.0};
+        bias[i] = {-0.5 + 0.002 * double(i), 0.0};
+    }
+    constexpr size_t kBatch = 4;
+    std::vector<RuntimeInputs> ins(kBatch);
+    for (size_t i = 0; i < kBatch; ++i) {
+        ins[i].seed = 900 + i;
+        ins[i].bind(w, weights);
+        ins[i].bind(v, bias);
+    }
+
+    EncodingCache cache(64, "");
+    ExecutionPolicy pol;
+    pol.scheduler = SchedulerKind::kSerial; // deterministic hit order
+    pol.encodingCache = &cache;
+    auto batch = exec.executeBatch(ins, pol);
+
+    // Two distinct (data, scale, level) keys; member 0 misses both,
+    // every later member hits both.
+    EXPECT_EQ(batch[0].encodingCacheMisses, 2u);
+    EXPECT_EQ(batch[0].encodingCacheHits, 0u);
+    for (size_t i = 1; i < kBatch; ++i) {
+        EXPECT_EQ(batch[i].encodingCacheMisses, 0u);
+        EXPECT_EQ(batch[i].encodingCacheHits, 2u);
+    }
+
+    // Cached encodings are bit-identical to uncached solo runs.
+    ExecutionPolicy noCache;
+    noCache.scheduler = SchedulerKind::kSerial;
+    for (size_t i = 0; i < kBatch; ++i)
+        expectIdenticalOutputs(exec.execute(ins[i], noCache),
+                               batch[i]);
+}
+
+//
+// Admission control (consumes the metrics registry, not private state)
+//
+
+TEST(AdmissionControllerTest, DecidesFromRegistrySnapshot)
+{
+    auto &reg = obs::MetricsRegistry::global();
+    reg.reset();
+    AdmissionLimits lim;
+    lim.maxBacklog = 10;
+    AdmissionController ctl(lim);
+    TenantPolicy tp;
+
+    // Stage registry state below the cap: admit.
+    reg.counter("serving.jobs_submitted").inc(9);
+    EXPECT_TRUE(ctl.decide(tp, 0).admit);
+
+    // Stage a backlog exactly at the cap: shed, naming the counters.
+    reg.counter("serving.jobs_submitted").inc(21); // 30 submitted
+    reg.counter("serving.jobs_completed").inc(15);
+    reg.counter("serving.jobs_failed").inc(5); // backlog = 10
+    auto d = ctl.decide(tp, 0);
+    EXPECT_FALSE(d.admit);
+    EXPECT_NE(d.reason.find("backlog"), std::string::npos);
+
+    // Completions observed through the registry re-open admission —
+    // the controller tracks the registry, not its own counters.
+    reg.counter("serving.jobs_completed").inc(1); // backlog = 9
+    EXPECT_TRUE(ctl.decide(tp, 0).admit);
+
+    // Latency shedding reads the serving.queue_ms histogram's p95.
+    AdmissionLimits lat;
+    lat.maxQueueP95Ms = 5;
+    AdmissionController latCtl(lat);
+    EXPECT_TRUE(latCtl.decide(tp, 0).admit); // no observations yet
+    for (int i = 0; i < 100; ++i)
+        reg.histogram("serving.queue_ms").observe(50.0);
+    auto dl = latCtl.decide(tp, 0);
+    EXPECT_FALSE(dl.admit);
+    EXPECT_NE(dl.reason.find("p95"), std::string::npos);
+
+    // Per-tenant depth cap, from an explicit (empty) snapshot.
+    TenantPolicy capped;
+    capped.maxQueueDepth = 2;
+    EXPECT_TRUE(ctl.decide(obs::MetricsSnapshot{}, capped, 1).admit);
+    EXPECT_FALSE(ctl.decide(obs::MetricsSnapshot{}, capped, 2).admit);
+    reg.reset();
+}
+
+TEST(ServingEngineTest, ShedsWhenRegistryBacklogOverLimit)
+{
+    auto &reg = obs::MetricsRegistry::global();
+    reg.reset();
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    ServingConfig cfg;
+    cfg.workers = 1;
+    cfg.admission.maxBacklog = 5;
+    ServingEngine engine(&bgv, cfg);
+
+    // Stage a fleet backlog in the registry, as if sibling engines
+    // held 50 queued jobs; this engine must shed without enqueuing.
+    reg.counter("serving.jobs_submitted").inc(50);
+    JobRequest req;
+    req.program = &p;
+    EXPECT_THROW(engine.submit(std::move(req)), AdmissionRejected);
+    auto snap = reg.snapshot();
+    EXPECT_EQ(snap.counters.at("serving.shed_jobs"), 1u);
+    EXPECT_EQ(engine.stats().shed, 1u);
+    EXPECT_EQ(engine.stats().submitted, 0u);
+
+    // Completions drain the staged backlog: the engine admits again.
+    reg.counter("serving.jobs_completed").inc(50);
+    JobRequest ok;
+    ok.program = &p;
+    ok.inputs.seed = 3;
+    engine.submit(std::move(ok)).get();
+    EXPECT_EQ(engine.stats().completed, 1u);
+    reg.reset();
+}
+
+TEST(ServingEngineTest, QueueDepthGaugesInRegistry)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    ServingConfig cfg;
+    cfg.workers = 2;
+    ServingEngine engine(&bgv, cfg);
+
+    std::vector<std::future<JobResult>> futs;
+    for (uint64_t i = 0; i < 6; ++i) {
+        JobRequest req;
+        req.program = &p;
+        req.inputs.seed = i;
+        futs.push_back(engine.submit(std::move(req)));
+    }
+    engine.drain();
+
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    EXPECT_EQ(snap.counters.at("serving.queue_depth"), 0u);
+    EXPECT_GE(snap.counters.at("serving.queue_depth_peak"), 1u);
+    EXPECT_EQ(snap.counters.at("serving.queue_depth_peak"),
+              engine.stats().peakQueueDepth);
+    for (auto &f : futs)
+        f.get();
+}
+
+//
+// Batched serving pipeline
+//
+
+/** Long mul chain: keeps a worker busy long enough for submits to
+ *  queue up behind it (deterministic-output, timing-only helper). */
+Program
+heavyProgram(int muls)
+{
+    Program p(256, 8, "heavy");
+    int x = p.input();
+    int acc = p.mul(x, x);
+    for (int i = 1; i < muls; ++i)
+        acc = p.mul(acc, x);
+    p.output(acc);
+    return p;
+}
+
+TEST(ServingEngineTest, BatchedMatchesSoloAcrossPoliciesBgv)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+
+    constexpr size_t kJobs = 10;
+    std::vector<ExecutionResult> isolated;
+    for (size_t i = 0; i < kJobs; ++i) {
+        RuntimeInputs in;
+        in.seed = 1000 + i;
+        OpGraphExecutor exec(p, &bgv);
+        isolated.push_back(exec.execute(in));
+    }
+
+    for (SchedulingPolicy policy :
+         {SchedulingPolicy::kRoundRobin, SchedulingPolicy::kDeadline})
+        for (unsigned workers : {1u, 4u}) {
+            ServingConfig cfg;
+            cfg.workers = workers;
+            cfg.scheduling = policy;
+            cfg.maxBatch = 8;
+            cfg.tenantPolicies["gold"] = {2, 20.0, 0};
+            cfg.tenantPolicies["bulk"] = {0, 500.0, 0};
+            ServingEngine engine(&bgv, cfg);
+            std::vector<std::future<JobResult>> futs;
+            for (size_t i = 0; i < kJobs; ++i) {
+                JobRequest req;
+                req.program = &p;
+                req.tenant = i % 2 ? "gold" : "bulk";
+                req.inputs.seed = 1000 + i;
+                futs.push_back(engine.submit(std::move(req)));
+            }
+            for (size_t i = 0; i < kJobs; ++i) {
+                JobResult r = futs[i].get();
+                expectIdenticalOutputs(isolated[i], r.exec);
+                EXPECT_GE(r.exec.batchSize, 1u);
+                EXPECT_LE(r.exec.batchSize, 8u);
+            }
+        }
+}
+
+TEST(ServingEngineTest, BatchedMatchesSoloAcrossPoliciesCkks)
+{
+    FheContext ctx(smallParams());
+    CkksScheme ckks(&ctx);
+    Program p(256, 8, "ckks-pipeline");
+    int x = p.input();
+    int w = p.inputPlain();
+    int a = p.mulPlain(x, w);
+    int r = p.modSwitch(a);
+    p.output(p.add(p.rotate(r, 1), r));
+
+    std::vector<std::complex<double>> weights(128);
+    for (size_t i = 0; i < 128; ++i)
+        weights[i] = {0.125 * double(i % 7), 0.0};
+
+    constexpr size_t kJobs = 8;
+    std::vector<ExecutionResult> isolated;
+    for (size_t i = 0; i < kJobs; ++i) {
+        RuntimeInputs in;
+        in.seed = 2000 + i;
+        in.bind(w, weights);
+        OpGraphExecutor exec(p, &ckks);
+        isolated.push_back(exec.execute(in));
+    }
+
+    for (SchedulingPolicy policy :
+         {SchedulingPolicy::kRoundRobin, SchedulingPolicy::kDeadline})
+        for (unsigned workers : {1u, 4u}) {
+            ServingConfig cfg;
+            cfg.workers = workers;
+            cfg.scheduling = policy;
+            ServingEngine engine(&ckks, cfg);
+            std::vector<std::future<JobResult>> futs;
+            for (size_t i = 0; i < kJobs; ++i) {
+                JobRequest req;
+                req.program = &p;
+                req.tenant = i % 2 ? "even" : "odd";
+                req.inputs.seed = 2000 + i;
+                req.inputs.bind(w, weights);
+                futs.push_back(engine.submit(std::move(req)));
+            }
+            for (size_t i = 0; i < kJobs; ++i)
+                expectIdenticalOutputs(isolated[i],
+                                       futs[i].get().exec);
+        }
+}
+
+TEST(ServingEngineTest, DrainWithSlowBatchedJobInFlight)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program lead = heavyProgram(60);
+    Program light = diamondProgram();
+
+    ServingConfig cfg;
+    cfg.workers = 1; // one worker: the lead job serializes pickup
+    cfg.maxBatch = 8;
+    ServingEngine engine(&bgv, cfg);
+
+    JobRequest first;
+    first.program = &lead;
+    auto leadFut = engine.submit(std::move(first));
+
+    // These queue up while the worker grinds the lead job, so the
+    // coalescer sees them together and fuses them into one batch.
+    std::vector<std::future<JobResult>> futs;
+    for (uint64_t i = 0; i < 6; ++i) {
+        JobRequest req;
+        req.program = &light;
+        req.inputs.seed = 3000 + i;
+        futs.push_back(engine.submit(std::move(req)));
+    }
+
+    engine.drain(); // must cover the slow batched execution
+
+    using namespace std::chrono_literals;
+    ASSERT_EQ(leadFut.wait_for(0s), std::future_status::ready);
+    size_t maxBatch = 0;
+    for (size_t i = 0; i < futs.size(); ++i) {
+        ASSERT_EQ(futs[i].wait_for(0s), std::future_status::ready)
+            << "drain() returned with job " << i << " unfinished";
+        JobResult r = futs[i].get();
+        maxBatch = std::max(maxBatch, r.exec.batchSize);
+        RuntimeInputs in;
+        in.seed = 3000 + i;
+        OpGraphExecutor exec(light, &bgv);
+        expectIdenticalOutputs(exec.execute(in), r.exec);
+    }
+    // All six were queued behind the lead, so they fused.
+    EXPECT_GE(maxBatch, 2u);
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    ASSERT_TRUE(snap.histograms.count("serving.batch_size"));
+    EXPECT_GE(snap.histograms.at("serving.batch_size").count, 1u);
+}
+
+TEST(ServingEngineTest, SubmitWhileDestructingIsRejected)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program slow = heavyProgram(40);
+
+    ServingConfig cfg;
+    cfg.workers = 1;
+    cfg.maxBatch = 1; // no fusing: the backlog drains one by one
+    auto *engine = new ServingEngine(&bgv, cfg);
+
+    // A deep backlog of slow jobs keeps the destructor inside
+    // drain() for a long window after it closes admission.
+    std::vector<std::future<JobResult>> backlog;
+    for (uint64_t i = 0; i < 12; ++i) {
+        JobRequest req;
+        req.program = &slow;
+        req.inputs.seed = i;
+        backlog.push_back(engine->submit(std::move(req)));
+    }
+
+    std::thread destroyer([&] { delete engine; });
+    // Poll submit until the destructor flips accepting_; everything
+    // accepted in the window must still resolve before teardown.
+    std::vector<std::future<JobResult>> accepted;
+    bool rejected = false;
+    while (!rejected) {
+        JobRequest req;
+        req.program = &slow;
+        req.inputs.seed = 100 + accepted.size();
+        try {
+            accepted.push_back(engine->submit(std::move(req)));
+        } catch (const FatalError &) {
+            rejected = true;
+        }
+    }
+    destroyer.join();
+    EXPECT_TRUE(rejected);
+
+    using namespace std::chrono_literals;
+    for (auto &f : backlog) {
+        ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
+        f.get();
+    }
+    for (auto &f : accepted) {
+        ASSERT_EQ(f.wait_for(0s), std::future_status::ready)
+            << "an accepted job was not drained before teardown";
+        f.get();
+    }
+}
+
+TEST(ServingEngineTest, TenantQueueDepthCapSheds)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program slow = heavyProgram(40);
+
+    ServingConfig cfg;
+    cfg.workers = 1;
+    cfg.maxBatch = 1;
+    cfg.tenantPolicies["capped"] = {0, 1000.0, /*maxQueueDepth=*/2};
+    ServingEngine engine(&bgv, cfg);
+
+    // Flood the capped tenant. The worker can hold at most one job in
+    // flight, so by the pigeonhole principle the tenant's queue is at
+    // its cap well before the last submit: some submit must shed.
+    std::vector<std::future<JobResult>> futs;
+    size_t shed = 0;
+    for (uint64_t i = 0; i < 16; ++i) {
+        JobRequest req;
+        req.program = &slow;
+        req.tenant = "capped";
+        req.inputs.seed = i;
+        try {
+            futs.push_back(engine.submit(std::move(req)));
+        } catch (const AdmissionRejected &) {
+            ++shed;
+        }
+    }
+    EXPECT_GT(shed, 0u);
+    EXPECT_EQ(engine.stats().shed, shed);
+    for (auto &f : futs)
+        f.get();
+    EXPECT_LE(engine.stats().peakQueueDepth, 3u); // cap 2 + pickup race
 }
 
 } // namespace
