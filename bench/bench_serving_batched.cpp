@@ -28,11 +28,29 @@
  * acceptance gate is enforced: batched jobs/sec must be strictly
  * above per-job jobs/sec at every worker count >= 4 (exit 2).
  *
+ * Introspection riders (both modes):
+ *  - the embedded exporter is started on an ephemeral port and
+ *    self-scraped over real sockets: /healthz and /metrics must
+ *    return 200 with a well-formed exposition, /snapshot.json and
+ *    /events.json must lint as JSON (exit 3 on any failure);
+ *  - an overload scenario (a tenant with an unmeetable deadline
+ *    behind AdmissionLimits::maxBurnRate) emits an "slo" section with
+ *    per-tenant attainment / deadline misses / burn rate and the shed
+ *    count, and must shed at least one job ON the burn-rate metric
+ *    (exit 4) — the admission loop closing end to end;
+ *  - the flight recorder's ring is dumped to EVENTS_serving.json,
+ *    uploaded next to BENCH_serving.json in CI.
+ * In full mode the telemetry tax is gated: the workload rerun with
+ * per-op profiling + tracing on AND a scraper hammering /metrics must
+ * stay within 1.5x of the telemetry-off turnaround (exit 4).
+ *
  * Usage: bench_serving_batched [--smoke]
  *   --smoke  CI canary: fewer jobs, workers {1, 2}, bit-identity
- *            checks only (no perf gate).
+ *            checks only (no perf/overhead gates).
  */
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -44,6 +62,9 @@
 #include "common/hash.h"
 #include "common/parallel.h"
 #include "common/time_util.h"
+#include "json_lint.h"
+#include "obs/eventlog.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "runtime/op_graph_executor.h"
 #include "runtime/serving.h"
@@ -183,7 +204,8 @@ run(bool smoke)
                                          serialPolicy));
     }
 
-    auto runMode = [&](unsigned workers, size_t maxBatch) {
+    auto runMode = [&](unsigned workers, size_t maxBatch,
+                       bool telemetryOn = false) {
         ModeResult out;
         std::vector<double> jps(static_cast<size_t>(reps));
         for (int rep = 0; rep < reps; ++rep) {
@@ -193,6 +215,8 @@ run(bool smoke)
             cfg.maxBatch = maxBatch;
             cfg.tenantPolicies["gold"] = {2, 20.0, 0};
             cfg.tenantPolicies["bulk"] = {0, 500.0, 0};
+            cfg.policy.telemetry.profile = telemetryOn;
+            cfg.policy.telemetry.trace = telemetryOn;
             ServingEngine engine(&bgv, cfg);
 
             const double t0 = steadyNowMs();
@@ -215,6 +239,11 @@ run(bool smoke)
         return out;
     };
 
+    // The exporter serves the whole bench run: it is live while the
+    // sweep and the overhead phase execute, exactly as a production
+    // scraper would see the process.
+    obs::MetricsExporter exporter;
+
     std::vector<SweepRow> rows;
     bool allIdentical = true;
     for (unsigned workers : workerCounts) {
@@ -226,6 +255,106 @@ run(bool smoke)
                        row.batched.bitIdentical;
         rows.push_back(std::move(row));
     }
+
+    // --- SLO overload scenario: the "hot" tenant's deadline is
+    // unmeetable, so every completion misses and its burn rate hits
+    // the cap; admission must start shedding it ON that metric while
+    // the well-behaved tenant keeps being served.
+    struct SloRow
+    {
+        uint64_t served = 0;
+        uint64_t misses = 0;
+        double attainment = 1.0;
+        double burnRate = 0.0;
+    };
+    std::map<std::string, SloRow> sloRows;
+    uint64_t sloSheds = 0;
+    {
+        ServingConfig cfg;
+        cfg.workers = 1;
+        cfg.maxBatch = kMaxBatch;
+        cfg.admission.maxBurnRate = 3.0;
+        cfg.slo.windowSize = 16;
+        cfg.tenantPolicies["hot"] = {0, 1e-6, 0};
+        cfg.tenantPolicies["steady"] = {0, 60000.0, 0};
+        cfg.eventDumpPath = "EVENTS_serving.json";
+        ServingEngine engine(&bgv, cfg);
+
+        const size_t overloadJobs = smoke ? 12 : 24;
+        std::vector<std::future<JobResult>> futs;
+        for (size_t i = 0; i < overloadJobs; ++i) {
+            JobRequest req;
+            req.program = &model;
+            req.tenant = i % 2 == 0 ? "hot" : "steady";
+            req.inputs.seed = 9000 + i;
+            req.inputs.bind(1, weights);
+            try {
+                futs.push_back(engine.submit(std::move(req)));
+            } catch (const AdmissionRejected &) {
+                ++sloSheds;
+            }
+            // Let the first hot job complete (and miss) before the
+            // next admission check so the burn-rate gauge has data.
+            if (i == 0)
+                futs.front().wait();
+        }
+        for (auto &f : futs)
+            f.get();
+        for (const auto &[tenant, s] : engine.slo().snapshot())
+            sloRows[tenant] = {s.windowTotal, s.misses, s.attainment,
+                               s.burnRate};
+    }
+
+    // --- Telemetry tax under live scraping (full mode): the same
+    // workload with per-op profiling + tracing on, while a scraper
+    // hammers /metrics, must stay within 1.5x of telemetry-off.
+    double telemetryOffJps = 0;
+    double telemetryOnJps = 0;
+    if (!smoke) {
+        const unsigned w = std::min(2u, hw);
+        telemetryOffJps = runMode(w, kMaxBatch).jobsPerSec;
+        std::atomic<bool> stopScraper{false};
+        std::thread scraper([&] {
+            // 100 Hz — three orders of magnitude hotter than a real
+            // Prometheus interval, but not a busy loop that would
+            // just measure core starvation on small machines.
+            std::string body;
+            while (!stopScraper.load(std::memory_order_relaxed)) {
+                obs::httpGet(exporter.port(), "/metrics", &body);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+        });
+        telemetryOnJps = runMode(w, kMaxBatch, true).jobsPerSec;
+        stopScraper.store(true, std::memory_order_relaxed);
+        scraper.join();
+    }
+
+    // --- Self-scrape over real sockets: what CI's curl would see.
+    std::string scrapeFailure;
+    {
+        std::string body;
+        if (obs::httpGet(exporter.port(), "/healthz", &body) != 200)
+            scrapeFailure = "/healthz not 200";
+        else if (obs::httpGet(exporter.port(), "/metrics", &body) !=
+                 200)
+            scrapeFailure = "/metrics not 200";
+        else if (body.find("# TYPE ") == std::string::npos ||
+                 body.find("f1_serving_jobs_submitted") ==
+                     std::string::npos)
+            scrapeFailure = "/metrics exposition malformed";
+        else if (obs::httpGet(exporter.port(), "/snapshot.json",
+                              &body) != 200 ||
+                 !f1::testing::isValidJson(body))
+            scrapeFailure = "/snapshot.json invalid";
+        else if (obs::httpGet(exporter.port(), "/events.json",
+                              &body) != 200 ||
+                 !f1::testing::isValidJson(body))
+            scrapeFailure = "/events.json invalid";
+    }
+
+    // The post-mortem artifact CI uploads next to BENCH_serving.json.
+    obs::FlightRecorder::global().dumpToFile("EVENTS_serving.json");
 
     const auto printMode = [](const char *key, const ModeResult &m,
                               const char *trail) {
@@ -269,6 +398,37 @@ run(bool smoke)
                i + 1 < rows.size() ? "," : "");
     }
     printf("  ],\n");
+    printf("  \"slo\": {\"max_burn_rate\": 3.0, \"window\": 16, "
+           "\"burn_rate_sheds\": %llu,\n    \"tenants\": {",
+           static_cast<unsigned long long>(sloSheds));
+    {
+        bool first = true;
+        for (const auto &[tenant, s] : sloRows) {
+            printf("%s\"%s\": {\"window_jobs\": %llu, "
+                   "\"deadline_misses\": %llu, "
+                   "\"attainment\": %.4f, \"burn_rate\": %.3f}",
+                   first ? "" : ", ", tenant.c_str(),
+                   static_cast<unsigned long long>(s.served),
+                   static_cast<unsigned long long>(s.misses),
+                   s.attainment, s.burnRate);
+            first = false;
+        }
+    }
+    printf("}},\n");
+    printf("  \"exporter\": {\"port\": %u, \"scrape_ok\": %s%s%s},\n",
+           exporter.port(), scrapeFailure.empty() ? "true" : "false",
+           scrapeFailure.empty() ? "" : ", \"failure\": ",
+           scrapeFailure.empty()
+               ? ""
+               : ("\"" + scrapeFailure + "\"").c_str());
+    if (!smoke) {
+        printf("  \"telemetry_overhead\": {\"off_jobs_per_sec\": "
+               "%.2f, \"on_jobs_per_sec\": %.2f, \"ratio\": %.3f, "
+               "\"limit\": 1.5},\n",
+               telemetryOffJps, telemetryOnJps,
+               telemetryOnJps > 0 ? telemetryOffJps / telemetryOnJps
+                                  : 0.0);
+    }
     printf("  \"metrics\": %s\n}\n",
            obs::MetricsRegistry::global().snapshot().toJson().c_str());
 
@@ -292,6 +452,25 @@ run(bool smoke)
                 return 2;
             }
         }
+    }
+    if (!scrapeFailure.empty()) {
+        fprintf(stderr, "FAIL: exporter scrape: %s\n",
+                scrapeFailure.c_str());
+        return 3;
+    }
+    if (sloSheds == 0) {
+        fprintf(stderr,
+                "FAIL: overload scenario shed no jobs on the "
+                "burn-rate metric\n");
+        return 4;
+    }
+    if (!smoke && telemetryOnJps > 0 &&
+        telemetryOffJps / telemetryOnJps > 1.5) {
+        fprintf(stderr,
+                "FAIL: telemetry-on throughput %.2f jobs/s is more "
+                "than 1.5x below telemetry-off %.2f jobs/s\n",
+                telemetryOnJps, telemetryOffJps);
+        return 4;
     }
     return 0;
 }

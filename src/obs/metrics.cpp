@@ -14,6 +14,21 @@ constexpr double kLatencyBucketsMs[] = {
     0.01, 0.02, 0.05, 0.1,  0.25, 0.5,  1.0,    2.5,   5.0,    10.0,
     25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
 
+constexpr double kDefaultQuantiles[] = {0.50, 0.95};
+
+/** "p50_ms" / "p95_ms" / "p99_ms" / "p99_9_ms" for q in [0,1]. */
+std::string
+quantileJsonKey(double q)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", q * 100.0);
+    std::string key(buf);
+    for (char &c : key)
+        if (c == '.')
+            c = '_';
+    return "p" + key + "_ms";
+}
+
 /** JSON numbers must not be NaN/inf; clamp defensively. */
 void
 appendJsonNumber(std::ostringstream &os, double v)
@@ -56,30 +71,72 @@ defaultLatencyBucketsMs()
     return kLatencyBucketsMs;
 }
 
-double
-HistogramSnapshot::quantile(double q) const
+std::span<const double>
+defaultQuantiles()
+{
+    return kDefaultQuantiles;
+}
+
+HistogramSnapshot::Quantile
+HistogramSnapshot::quantileAt(double q) const
 {
     if (count == 0)
-        return 0;
-    const auto want = static_cast<uint64_t>(
-        q * static_cast<double>(count - 1));
+        return {};
+    // Nearest-rank (ceil(q*n), 1-based): p99 of 3 observations is
+    // the 3rd, not the 2nd — small windows must not understate the
+    // tail the SLO deadline prices.
+    uint64_t want =
+        q <= 0 ? 0
+               : static_cast<uint64_t>(
+                     std::ceil(q * static_cast<double>(count))) -
+                     1;
+    want = std::min(want, count - 1);
+    const double lastEdge = bounds.empty() ? 0 : bounds.back();
     uint64_t seen = 0;
     for (size_t b = 0; b < counts.size(); ++b) {
         seen += counts[b];
-        if (seen > want)
-            return b < bounds.size()
-                       ? bounds[b]
-                       : (bounds.empty() ? 0 : bounds.back());
+        if (seen > want) {
+            // The last counts slot is the overflow (+Inf) bucket: its
+            // observations exceed every finite edge, so the estimate
+            // is only a lower bound and carries the marker.
+            if (b >= bounds.size())
+                return {lastEdge, true};
+            return {bounds[b], false};
+        }
     }
-    return bounds.empty() ? 0 : bounds.back();
+    return {lastEdge, !bounds.empty()};
 }
 
-Histogram::Histogram(std::span<const double> bounds)
+Histogram::Histogram(std::span<const double> bounds,
+                     std::span<const double> quantiles)
     : bounds_(bounds.begin(), bounds.end()),
-      counts_(bounds.size() + 1)
+      counts_(bounds.size() + 1),
+      quantiles_(quantiles.empty()
+                     ? std::vector<double>(kDefaultQuantiles,
+                                           kDefaultQuantiles + 2)
+                     : std::vector<double>(quantiles.begin(),
+                                           quantiles.end()))
 {
     F1_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
                "histogram bucket bounds must be ascending");
+    F1_REQUIRE(std::is_sorted(quantiles_.begin(), quantiles_.end()),
+               "histogram quantile set must be ascending");
+}
+
+void
+Histogram::setQuantiles(std::span<const double> quantiles)
+{
+    F1_REQUIRE(std::is_sorted(quantiles.begin(), quantiles.end()),
+               "histogram quantile set must be ascending");
+    std::lock_guard<std::mutex> lock(qm_);
+    quantiles_.assign(quantiles.begin(), quantiles.end());
+}
+
+std::vector<double>
+Histogram::quantiles() const
+{
+    std::lock_guard<std::mutex> lock(qm_);
+    return quantiles_;
 }
 
 void
@@ -101,6 +158,7 @@ Histogram::snapshot() const
 {
     HistogramSnapshot s;
     s.bounds = bounds_;
+    s.quantiles = quantiles();
     s.counts.reserve(counts_.size());
     for (const auto &c : counts_)
         s.counts.push_back(c.load(std::memory_order_relaxed));
@@ -142,10 +200,22 @@ MetricsSnapshot::toJson() const
         appendJsonString(os, name);
         os << ": {\"count\": " << h.count << ", \"sum_ms\": ";
         appendJsonNumber(os, h.sum);
+        // p50_ms/p95_ms are stable keys every existing consumer reads;
+        // configured quantiles beyond those add keys, never rename.
         os << ", \"p50_ms\": ";
         appendJsonNumber(os, h.quantile(0.50));
         os << ", \"p95_ms\": ";
         appendJsonNumber(os, h.quantile(0.95));
+        for (double q : h.quantiles) {
+            const std::string key = quantileJsonKey(q);
+            if (key == "p50_ms" || key == "p95_ms")
+                continue;
+            os << ", ";
+            appendJsonString(os, key);
+            os << ": ";
+            appendJsonNumber(os, h.quantile(q));
+        }
+        os << ", \"overflow\": " << h.overflowCount();
         os << ", \"bounds_ms\": [";
         for (size_t i = 0; i < h.bounds.size(); ++i) {
             if (i)
@@ -214,7 +284,8 @@ MetricsRegistry::counter(const std::string &name)
 
 Histogram &
 MetricsRegistry::histogram(const std::string &name,
-                           std::span<const double> bounds)
+                           std::span<const double> bounds,
+                           std::span<const double> quantiles)
 {
     std::lock_guard<std::mutex> lock(m_);
     auto it = histograms_.find(name);
@@ -223,8 +294,11 @@ MetricsRegistry::histogram(const std::string &name,
                  .emplace(name, std::make_unique<Histogram>(
                                     bounds.empty()
                                         ? defaultLatencyBucketsMs()
-                                        : bounds))
+                                        : bounds,
+                                    quantiles))
                  .first;
+    } else if (!quantiles.empty()) {
+        it->second->setQuantiles(quantiles);
     }
     return *it->second;
 }

@@ -84,10 +84,34 @@ struct HistogramSnapshot
     uint64_t count = 0;
     double sum = 0;
 
-    /** Bucket-resolution quantile estimate (upper bound of the bucket
-     *  containing the q-quantile observation); +inf bucket reports the
-     *  largest finite bound. */
-    double quantile(double q) const;
+    /** Quantile set configured for this histogram (ascending); the
+     *  JSON snapshot renders one pNN_ms key per entry. */
+    std::vector<double> quantiles;
+
+    /** Observations above the last bucket edge. These have no upper
+     *  bound, so any quantile falling here is a lower-bound estimate
+     *  (the +Inf bucket in Prometheus terms) — consumers must not
+     *  read it as a measured latency. */
+    uint64_t overflowCount() const
+    {
+        return counts.empty() ? 0 : counts.back();
+    }
+
+    /** Bucket-resolution quantile estimate with an explicit overflow
+     *  marker: `value` is the upper bound of the bucket containing the
+     *  q-quantile observation; when the observation sits in the
+     *  overflow (+Inf) bucket, `value` is the last finite edge and
+     *  `overflow` is true (Prometheus output renders it as +Inf). */
+    struct Quantile
+    {
+        double value = 0;
+        bool overflow = false;
+    };
+    Quantile quantileAt(double q) const;
+
+    /** Compatibility wrapper: quantileAt(q).value (the overflow
+     *  marker is dropped, clamping to the last finite edge). */
+    double quantile(double q) const { return quantileAt(q).value; }
 };
 
 /**
@@ -99,7 +123,8 @@ struct HistogramSnapshot
 class Histogram
 {
   public:
-    explicit Histogram(std::span<const double> bounds);
+    explicit Histogram(std::span<const double> bounds,
+                       std::span<const double> quantiles = {});
     Histogram(const Histogram &) = delete;
     Histogram &operator=(const Histogram &) = delete;
 
@@ -107,15 +132,27 @@ class Histogram
     HistogramSnapshot snapshot() const;
     void reset();
 
+    /** Replaces the quantile set exported in snapshots (ascending;
+     *  cold path, snapshot-consistent). Existing snapshot JSON keys
+     *  never change meaning — new quantiles add keys. */
+    void setQuantiles(std::span<const double> quantiles);
+    std::vector<double> quantiles() const;
+
   private:
     std::vector<double> bounds_;
     std::vector<std::atomic<uint64_t>> counts_; //!< + overflow bucket
     std::atomic<uint64_t> count_{0};
     std::atomic<uint64_t> sumMicro_{0};
+
+    mutable std::mutex qm_; //!< guards quantiles_ (cold paths only)
+    std::vector<double> quantiles_;
 };
 
 /** Default latency buckets (milliseconds), 10us .. 10s. */
 std::span<const double> defaultLatencyBucketsMs();
+
+/** Default exported quantile set: p50, p95. */
+std::span<const double> defaultQuantiles();
 
 struct MetricsSnapshot
 {
@@ -175,11 +212,16 @@ class MetricsRegistry
 
     /**
      * Returns the histogram registered under `name`, creating it with
-     * `bounds` (default: defaultLatencyBucketsMs) on first use. Bounds
-     * of an existing histogram are not changed.
+     * `bounds` (default: defaultLatencyBucketsMs) and `quantiles`
+     * (default: defaultQuantiles — p50/p95) on first use. Bounds of an
+     * existing histogram are not changed; a non-empty `quantiles` set
+     * DOES reconfigure an existing histogram's exported quantiles, so
+     * late registrants can widen the set (e.g. add p99) without racing
+     * on who resolves the metric first.
      */
     Histogram &histogram(const std::string &name,
-                         std::span<const double> bounds = {});
+                         std::span<const double> bounds = {},
+                         std::span<const double> quantiles = {});
 
     /** Registers a gauge callback summed into `name` at snapshot. */
     [[nodiscard]] GaugeHandle

@@ -15,6 +15,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/time_util.h"
+#include "obs/eventlog.h"
 
 namespace f1 {
 
@@ -219,13 +220,13 @@ struct OpGraphExecutor::RunState
 };
 
 OpGraphExecutor::OpGraphExecutor(const Program &prog, BgvScheme *bgv)
-    : prog_(prog), bgv_(bgv)
+    : prog_(prog), fp_(prog.fingerprint()), bgv_(bgv)
 {
     buildGraph();
 }
 
 OpGraphExecutor::OpGraphExecutor(const Program &prog, CkksScheme *ckks)
-    : prog_(prog), ckks_(ckks)
+    : prog_(prog), fp_(prog.fingerprint()), ckks_(ckks)
 {
     buildGraph();
 }
@@ -957,30 +958,47 @@ OpGraphExecutor::executeBatch(std::span<const RuntimeInputs> inputs,
 
     // Prepare members serially, each from its own Rng(seed): member
     // i's prepared state is byte-for-byte what a solo run would build.
-    const double p0 = steadyNowMs();
-    {
-        obs::ProfileScope profScope(st.collector);
-        for (size_t b = 0; b < B; ++b)
-            prepare(inputs[b], st, st.members[b], b == 0);
-    }
-    const double prepareMs = steadyNowMs() - p0;
+    // Flight-recorder hooks: one dispatch event per batch traversal
+    // (jobId 0 — the executor doesn't know serving job ids; the
+    // engine's per-job admit/complete events bracket this one by
+    // fingerprint) and one batch-level fail event when the traversal
+    // throws, so a post-mortem shows WHERE in the pipeline a job died.
+    obs::FlightRecorder &rec = obs::FlightRecorder::global();
+    rec.record(obs::ServingEventKind::kDispatch, 0,
+               policy.telemetry.label, fp_, uint32_t(B));
 
-    const double t0 = steadyNowMs();
-    {
-        obs::ProfileScope profScope(st.collector);
-        switch (policy.scheduler) {
-          case SchedulerKind::kSerial:
-            runSerial(st);
-            break;
-          case SchedulerKind::kWavefront:
-            runWavefront(st, policy);
-            break;
-          case SchedulerKind::kWorkStealing:
-            runWorkStealing(st, policy);
-            break;
+    const double p0 = steadyNowMs();
+    double prepareMs = 0;
+    double wallMs = 0;
+    try {
+        {
+            obs::ProfileScope profScope(st.collector);
+            for (size_t b = 0; b < B; ++b)
+                prepare(inputs[b], st, st.members[b], b == 0);
         }
+        prepareMs = steadyNowMs() - p0;
+
+        const double t0 = steadyNowMs();
+        {
+            obs::ProfileScope profScope(st.collector);
+            switch (policy.scheduler) {
+              case SchedulerKind::kSerial:
+                runSerial(st);
+                break;
+              case SchedulerKind::kWavefront:
+                runWavefront(st, policy);
+                break;
+              case SchedulerKind::kWorkStealing:
+                runWorkStealing(st, policy);
+                break;
+            }
+        }
+        wallMs = steadyNowMs() - t0;
+    } catch (...) {
+        rec.record(obs::ServingEventKind::kFail, 0,
+                   policy.telemetry.label, fp_, uint32_t(B));
+        throw;
     }
-    const double wallMs = steadyNowMs() - t0;
 
     std::shared_ptr<const obs::ExecutionProfile> profile;
     if (collector) {

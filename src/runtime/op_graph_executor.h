@@ -323,6 +323,7 @@ class OpGraphExecutor
                          const ExecutionPolicy &policy) const;
 
     const Program &prog_;
+    uint64_t fp_ = 0; //!< prog_.fingerprint(), cached for event hooks
     BgvScheme *bgv_ = nullptr;
     CkksScheme *ckks_ = nullptr;
     ExecutionPolicy shimPolicy_{SchedulerKind::kWavefront, nullptr, 0,

@@ -1,5 +1,6 @@
 #include "runtime/serving.h"
 
+#include <limits>
 #include <optional>
 
 #include "common/error.h"
@@ -26,14 +27,19 @@ struct ServingMetrics
     {
         static constexpr double kBatchBounds[] = {1,  2,  4,  8,
                                                   16, 32, 64, 128};
+        // Latency histograms carry a p99 on top of the default
+        // p50/p95 set: tail latency is what SLO deadlines price.
+        static constexpr double kLatencyQuantiles[] = {0.50, 0.95,
+                                                       0.99};
         auto &reg = obs::MetricsRegistry::global();
         static ServingMetrics m{
             reg.counter("serving.jobs_submitted"),
             reg.counter("serving.jobs_completed"),
             reg.counter("serving.jobs_failed"),
             reg.counter("serving.shed_jobs"),
-            reg.histogram("serving.queue_ms"),
-            reg.histogram("serving.service_ms"),
+            reg.histogram("serving.queue_ms", {}, kLatencyQuantiles),
+            reg.histogram("serving.service_ms", {},
+                          kLatencyQuantiles),
             reg.histogram("serving.batch_size", kBatchBounds),
         };
         return m;
@@ -51,6 +57,7 @@ counterOrZero(const obs::MetricsSnapshot &snap, const char *name)
 
 AdmissionController::Decision
 AdmissionController::decide(const obs::MetricsSnapshot &snap,
+                            const std::string &tenantName,
                             const TenantPolicy &tenant,
                             size_t tenantQueueDepth) const
 {
@@ -98,27 +105,48 @@ AdmissionController::decide(const obs::MetricsSnapshot &snap,
             }
         }
     }
+    if (limits_.maxBurnRate > 0 && !tenantName.empty()) {
+        // The SloTracker publishes burn rate in milli-units (1000 =
+        // burning the error budget exactly at the sustainable rate).
+        // Windowed, so unlike the cumulative p95 check it re-admits
+        // by itself once the tenant's recent jobs meet deadlines.
+        const uint64_t milli = counterOrZero(
+            snap, ("slo." + tenantName + ".burn_rate").c_str());
+        const double rate = double(milli) / 1000.0;
+        if (rate >= limits_.maxBurnRate) {
+            d.admit = false;
+            std::ostringstream os;
+            os << "slo." << tenantName << ".burn_rate " << rate
+               << "x at/over the limit " << limits_.maxBurnRate
+               << "x (deadline misses burning the error budget)";
+            d.reason = os.str();
+            return d;
+        }
+    }
     return d;
 }
 
 AdmissionController::Decision
-AdmissionController::decide(const TenantPolicy &tenant,
+AdmissionController::decide(const std::string &tenantName,
+                            const TenantPolicy &tenant,
                             size_t tenantQueueDepth) const
 {
-    return decide(obs::MetricsRegistry::global().snapshot(), tenant,
-                  tenantQueueDepth);
+    return decide(obs::MetricsRegistry::global().snapshot(),
+                  tenantName, tenant, tenantQueueDepth);
 }
 
 ServingEngine::ServingEngine(BgvScheme *bgv, ServingConfig cfg)
     : bgv_(bgv), cfg_(std::move(cfg)), admission_(cfg_.admission),
-      encCache_(cfg_.encodingCacheCapacity, "serving_encoding")
+      encCache_(cfg_.encodingCacheCapacity, "serving_encoding"),
+      slo_(cfg_.slo)
 {
     start();
 }
 
 ServingEngine::ServingEngine(CkksScheme *ckks, ServingConfig cfg)
     : ckks_(ckks), cfg_(std::move(cfg)), admission_(cfg_.admission),
-      encCache_(cfg_.encodingCacheCapacity, "serving_encoding")
+      encCache_(cfg_.encodingCacheCapacity, "serving_encoding"),
+      slo_(cfg_.slo)
 {
     start();
 }
@@ -160,6 +188,10 @@ ServingEngine::~ServingEngine()
     cvWork_.notify_all();
     for (auto &w : workers_)
         w.join();
+    // Teardown-with-failures: leave the post-mortem on disk even if
+    // nobody inspected the per-failure dumps while serving.
+    if (!cfg_.eventDumpPath.empty() && stats_.failed > 0)
+        obs::FlightRecorder::global().dumpToFile(cfg_.eventDumpPath);
 }
 
 const TenantPolicy &
@@ -178,6 +210,9 @@ ServingEngine::submit(JobRequest req)
                "and hints as bare pointers, so pass a live Program "
                "that outlives the job's future");
     const TenantPolicy &tp = policyFor(req.tenant);
+    const uint64_t fp = req.program->fingerprint();
+    obs::FlightRecorder &rec = obs::FlightRecorder::global();
+    rec.record(obs::ServingEventKind::kSubmit, 0, req.tenant, fp);
 
     // Snapshot the registry BEFORE taking m_ (the snapshot evaluates
     // gauges across the process; keeping it outside our lock keeps
@@ -185,12 +220,14 @@ ServingEngine::submit(JobRequest req)
     // limit is configured — the default submit path stays cheap.
     const bool needsAdmission =
         tp.maxQueueDepth != 0 || admission_.limits().maxBacklog != 0 ||
-        admission_.limits().maxQueueP95Ms > 0;
+        admission_.limits().maxQueueP95Ms > 0 ||
+        admission_.limits().maxBurnRate > 0;
     std::optional<obs::MetricsSnapshot> snap;
     if (needsAdmission)
         snap = obs::MetricsRegistry::global().snapshot();
 
     std::future<JobResult> fut;
+    uint64_t jobId = 0;
     {
         std::lock_guard<std::mutex> lock(m_);
         F1_REQUIRE(accepting_, "engine is shutting down");
@@ -200,20 +237,22 @@ ServingEngine::submit(JobRequest req)
             const size_t depth =
                 qit == queues_.end() ? 0 : qit->second.size();
             const AdmissionController::Decision d =
-                admission_.decide(*snap, tp, depth);
+                admission_.decide(*snap, req.tenant, tp, depth);
             if (!d.admit) {
                 ServingMetrics::get().shed.inc();
                 ++stats_.shed;
+                rec.record(obs::ServingEventKind::kShed, 0,
+                           req.tenant, fp);
                 throw AdmissionRejected("job shed for tenant \"" +
                                         req.tenant + "\": " + d.reason);
             }
         }
 
         Job job;
-        job.id = nextJobId_++;
+        job.id = jobId = nextJobId_++;
         job.req = std::move(req);
         job.submitMs = steadyNowMs();
-        job.programFp = job.req.program->fingerprint();
+        job.programFp = fp;
         job.priority = tp.priority;
         job.deadlineAtMs = job.submitMs + tp.deadlineMs;
         fut = job.promise.get_future();
@@ -221,6 +260,7 @@ ServingEngine::submit(JobRequest req)
         auto [it, inserted] = queues_.try_emplace(job.req.tenant);
         if (inserted)
             tenantOrder_.push_back(job.req.tenant);
+        const std::string &tenant = it->first;
         it->second.push_back(std::move(job));
         ++pending_;
         ++stats_.submitted;
@@ -230,6 +270,7 @@ ServingEngine::submit(JobRequest req)
         depthNow_.store(pending_, std::memory_order_relaxed);
         depthPeak_.store(stats_.peakQueueDepth,
                          std::memory_order_relaxed);
+        rec.record(obs::ServingEventKind::kAdmit, jobId, tenant, fp);
     }
     cvWork_.notify_one();
     return fut;
@@ -295,6 +336,11 @@ ServingEngine::popBatch(std::vector<Job> &out)
         for (auto it = q.begin();
              it != q.end() && out.size() < cfg_.maxBatch;) {
             if (it->programFp == fp) {
+                // Recording is lock-free, so it is safe under m_.
+                obs::FlightRecorder::global().record(
+                    obs::ServingEventKind::kCoalesce, it->id,
+                    it->req.tenant, fp,
+                    uint32_t(out.size() + 1));
                 out.push_back(std::move(*it));
                 it = q.erase(it);
             } else {
@@ -354,17 +400,36 @@ ServingEngine::runBatch(std::vector<Job> &batch)
     } catch (...) {
         failed = true;
         error = std::current_exception();
-        for (Job &j : batch)
-            j.promise.set_exception(error);
+        // Promises are fulfilled below, AFTER the flight-recorder /
+        // SLO / stats bookkeeping: a waiter that observes the
+        // exception must also observe the failure's post-mortem.
     }
 
+    obs::FlightRecorder &rec = obs::FlightRecorder::global();
     if (failed) {
         sm.failed.inc(batch.size());
+        for (const Job &j : batch) {
+            rec.record(obs::ServingEventKind::kFail, j.id,
+                       j.req.tenant, j.programFp,
+                       uint32_t(batch.size()));
+            // A failed job attained nothing: an infinite latency
+            // misses any finite deadline in the SLO window.
+            slo_.recordJob(j.req.tenant,
+                           std::numeric_limits<double>::infinity(),
+                           policyFor(j.req.tenant).deadlineMs);
+        }
+        if (!cfg_.eventDumpPath.empty())
+            rec.dumpToFile(cfg_.eventDumpPath);
     } else {
         sm.completed.inc(batch.size());
         for (const JobResult &r : results) {
             sm.queueMs.observe(r.queueMs);
             sm.serviceMs.observe(r.serviceMs);
+            rec.record(obs::ServingEventKind::kComplete, r.jobId,
+                       r.tenant, batch.front().programFp,
+                       uint32_t(batch.size()));
+            slo_.recordJob(r.tenant, r.queueMs + r.serviceMs,
+                           policyFor(r.tenant).deadlineMs);
         }
     }
 
@@ -387,7 +452,10 @@ ServingEngine::runBatch(std::vector<Job> &batch)
             }
         }
     }
-    if (!failed) {
+    if (failed) {
+        for (Job &j : batch)
+            j.promise.set_exception(error);
+    } else {
         for (size_t i = 0; i < batch.size(); ++i)
             batch[i].promise.set_value(std::move(results[i]));
     }

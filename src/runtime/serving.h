@@ -42,6 +42,15 @@
  * solo or fused into a batch (tests/test_runtime.cpp asserts
  * bit-identity against isolated execution for both schemes and both
  * policies).
+ *
+ * Introspection: every stage transition above is recorded into the
+ * process-wide flight recorder (obs/eventlog.h — submit/admit/shed/
+ * coalesce from the engine, dispatch/fail from the executor,
+ * complete/fail per job), each completed job feeds the engine's
+ * per-tenant SloTracker (obs/slo.h — deadline attainment and
+ * burn rate vs TenantPolicy::deadlineMs, published as slo.<tenant>.*
+ * so AdmissionLimits::maxBurnRate can shed on it), and an exporter
+ * (obs/exporter.h) can serve all of it to a scraper.
  */
 #ifndef F1_RUNTIME_SERVING_H
 #define F1_RUNTIME_SERVING_H
@@ -56,7 +65,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "runtime/op_graph_executor.h"
 
 namespace f1 {
@@ -103,6 +114,20 @@ struct AdmissionLimits
      *  the process's whole observed history; benches and tests
      *  bracket epochs with MetricsRegistry::reset(). */
     double maxQueueP95Ms = 0;
+
+    /**
+     * Shed a tenant while its SLO error-budget burn rate — the
+     * registry's slo.<tenant>.burn_rate gauge (published in
+     * milli-units by the engine's SloTracker), divided back to a
+     * multiplier — is at or over this value. 1.0 means "shedding
+     * starts the moment the tenant burns budget faster than
+     * sustainable"; practical alerting thresholds are 2-10. Unlike
+     * maxQueueP95Ms this is windowed, so it recovers on its own once
+     * the tenant's recent jobs meet their deadlines again. Requires a
+     * tenant name (engine submits always pass one); metric absent or
+     * name empty = check passes.
+     */
+    double maxBurnRate = 0;
 };
 
 /** Thrown by ServingEngine::submit when admission sheds the job. */
@@ -139,15 +164,32 @@ class AdmissionController
     };
 
     /** Decision from an explicit registry snapshot (the testable
-     *  core; pure function of its arguments). */
+     *  core; pure function of its arguments). `tenantName` keys the
+     *  per-tenant SLO metrics (slo.<tenant>.burn_rate) for the
+     *  maxBurnRate check; empty skips that check. */
     Decision decide(const obs::MetricsSnapshot &snap,
+                    const std::string &tenantName,
                     const TenantPolicy &tenant,
                     size_t tenantQueueDepth) const;
 
     /** Decision from MetricsRegistry::global().snapshot() (what the
      *  engine calls on every submit). */
-    Decision decide(const TenantPolicy &tenant,
+    Decision decide(const std::string &tenantName,
+                    const TenantPolicy &tenant,
                     size_t tenantQueueDepth) const;
+
+    /** Name-free compatibility overloads (burn-rate check skipped). */
+    Decision
+    decide(const obs::MetricsSnapshot &snap, const TenantPolicy &tenant,
+           size_t tenantQueueDepth) const
+    {
+        return decide(snap, std::string(), tenant, tenantQueueDepth);
+    }
+    Decision
+    decide(const TenantPolicy &tenant, size_t tenantQueueDepth) const
+    {
+        return decide(std::string(), tenant, tenantQueueDepth);
+    }
 
     const AdmissionLimits &limits() const { return limits_; }
 
@@ -183,6 +225,20 @@ struct ServingConfig
     /** Per-tenant classes; tenants not listed get the default. */
     std::map<std::string, TenantPolicy> tenantPolicies;
     TenantPolicy defaultTenantPolicy;
+
+    /** Per-tenant SLO tracking (always on; it is a per-job cost).
+     *  Window size and the target attainment the burn rate is
+     *  normalized against — see obs/slo.h. */
+    obs::SloConfig slo;
+
+    /**
+     * When non-empty, the global flight recorder's JSON dump is
+     * written here on every failed batch and again at engine teardown
+     * if any job failed — the post-mortem artifact. Empty (default)
+     * never touches the filesystem; /events.json and
+     * FlightRecorder::global().dumpJson() stay available either way.
+     */
+    std::string eventDumpPath;
 
     /**
      * Execution policy applied to every batch. The engine overrides
@@ -280,6 +336,11 @@ class ServingEngine
      *  from ServingConfig::admission). */
     const AdmissionController &admission() const { return admission_; }
 
+    /** Per-tenant SLO state (deadline attainment, burn rate) for
+     *  every tenant this engine has completed jobs for; also the
+     *  /tenants.json source when an exporter is pointed at it. */
+    const obs::SloTracker &slo() const { return slo_; }
+
     /** Deprecated shim (see ServingStats): per-engine snapshot. */
     ServingStats stats() const;
 
@@ -312,6 +373,10 @@ class ServingEngine
     ServingConfig cfg_;
     AdmissionController admission_;
     EncodingCache encCache_;
+    //! Publishes slo.<tenant>.* into the registry; its gauges read
+    //! atomics only, so registering them is snapshot-safe (see
+    //! obs/slo.h on lock ordering).
+    obs::SloTracker slo_;
 
     mutable std::mutex m_;
     std::condition_variable cvWork_;
