@@ -39,22 +39,36 @@
  *    count, and must shed at least one job ON the burn-rate metric
  *    (exit 4) — the admission loop closing end to end;
  *  - the flight recorder's ring is dumped to EVENTS_serving.json,
- *    uploaded next to BENCH_serving.json in CI.
+ *    uploaded next to BENCH_serving.json in CI;
+ *  - a correlation phase (both modes) runs a multi-kind program with
+ *    compiler hints under full telemetry and gates the trace-id
+ *    plumbing end to end: every completed job's id must appear in the
+ *    flight recorder, in at least one executor span, and in its
+ *    ExecutionProfile; the merged Perfetto document (written to
+ *    TRACE_serving.json, uploaded next to BENCH_serving.json) must
+ *    lint and flow-link every job; the schedule-calibration
+ *    observatory must report fits over >= 5 op kinds; and
+ *    /calibration.json + /tracez?ms=N must scrape as valid JSON
+ *    (exit 5 on any of these).
  * In full mode the telemetry tax is gated: the workload rerun with
  * per-op profiling + tracing on AND a scraper hammering /metrics must
  * stay within 1.5x of the telemetry-off turnaround (exit 4).
  *
  * Usage: bench_serving_batched [--smoke]
- *   --smoke  CI canary: fewer jobs, workers {1, 2}, bit-identity
- *            checks only (no perf/overhead gates).
+ *   --smoke  CI canary: fewer jobs, workers {1, 2}, bit-identity and
+ *            correlation checks only (no perf/overhead gates).
  */
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <map>
+#include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,10 +76,13 @@
 #include "common/hash.h"
 #include "common/parallel.h"
 #include "common/time_util.h"
+#include "compiler/compiler.h"
 #include "json_lint.h"
+#include "obs/calib.h"
 #include "obs/eventlog.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
+#include "obs/tracectx.h"
 #include "runtime/op_graph_executor.h"
 #include "runtime/serving.h"
 
@@ -90,6 +107,30 @@ modelProgram(uint32_t n, int addSteps)
     for (int i = 0; i < addSteps; ++i)
         acc = p.add(acc, m);
     p.output(acc);
+    return p;
+}
+
+/**
+ * The correlation phase's program: deliberately multi-kind (mul,
+ * rotate, mul_plain, add, sub, mod_switch, output — 7 traced kinds)
+ * so the schedule-calibration observatory has >= 5 op kinds to fit
+ * and the correlated trace shows a non-trivial span mix.
+ */
+Program
+correlationProgram(uint32_t n)
+{
+    Program p(n, 3, "correlation");
+    int x = p.input();
+    int y = p.input();
+    int w = p.inputPlain();
+    int a = p.mul(x, y);
+    int b = p.rotate(x, 1);
+    int c = p.mulPlain(y, w);
+    int d = p.add(a, c);
+    int e = p.sub(d, b);
+    int f = p.modSwitch(e);
+    p.output(f);
+    p.output(b);
     return p;
 }
 
@@ -330,6 +371,138 @@ run(bool smoke)
         scraper.join();
     }
 
+    // --- Correlation phase (both modes): full telemetry over a
+    // multi-kind hinted program, then gate the trace-id plumbing,
+    // the merged Perfetto document, the calibration fit, and the
+    // live-introspection endpoints end to end (exit 5).
+    std::string corrFailure;
+    size_t corrJobs = 0;
+    size_t corrLinked = 0;
+    size_t corrCalibKinds = 0;
+    {
+        obs::ScheduleCalibration::global().reset();
+        Program corr = correlationProgram(n);
+        const ScheduleHints corrHints =
+            compileProgram(corr, F1Config{}).hints;
+
+        ServingConfig cfg;
+        cfg.workers = std::min(2u, hw);
+        cfg.scheduling = SchedulingPolicy::kDeadline;
+        cfg.maxBatch = 4;
+        cfg.policy.telemetry.profile = true;
+        cfg.policy.telemetry.trace = true;
+        ServingEngine engine(&bgv, cfg);
+
+        corrJobs = smoke ? 8 : 16;
+        std::vector<std::future<JobResult>> futs;
+        for (size_t i = 0; i < corrJobs; ++i) {
+            JobRequest req;
+            req.program = &corr;
+            req.tenant = i % 2 == 0 ? "corr_gold" : "corr_bulk";
+            req.inputs.seed = 11000 + i;
+            req.hints = &corrHints;
+            futs.push_back(engine.submit(std::move(req)));
+        }
+        std::vector<JobResult> results;
+        for (auto &f : futs)
+            results.push_back(f.get());
+
+        const std::vector<obs::ServingEvent> events =
+            obs::FlightRecorder::global().dump();
+
+        std::set<uint64_t> ids;
+        std::vector<std::shared_ptr<const obs::Trace>> traces;
+        for (const JobResult &r : results) {
+            if (r.traceId == 0) {
+                corrFailure = "completed job has no trace id";
+                break;
+            }
+            ids.insert(r.traceId);
+            bool inRecorder = false;
+            for (const obs::ServingEvent &ev : events)
+                inRecorder |= ev.traceId == r.traceId;
+            if (!inRecorder) {
+                corrFailure =
+                    "trace id missing from the flight recorder";
+                break;
+            }
+            bool inSpans = false;
+            if (r.exec.trace != nullptr)
+                for (const obs::TraceEvent &ev :
+                     r.exec.trace->events())
+                    inSpans |=
+                        ev.kind == obs::TraceEventKind::kOpSpan &&
+                        ev.traceId == r.traceId;
+            if (!inSpans) {
+                corrFailure = "trace id missing from executor spans";
+                break;
+            }
+            bool inProfile = false;
+            if (r.exec.profile != nullptr)
+                for (uint64_t id : r.exec.profile->traceIds)
+                    inProfile |= id == r.traceId;
+            if (!inProfile) {
+                corrFailure =
+                    "trace id missing from the execution profile";
+                break;
+            }
+            bool seen = false;
+            for (const auto &t : traces)
+                seen |= t == r.exec.trace;
+            if (!seen)
+                traces.push_back(r.exec.trace);
+        }
+        if (corrFailure.empty() && ids.size() != results.size())
+            corrFailure = "trace ids are not pairwise distinct";
+
+        // The merged Perfetto document: must lint, must carry flow
+        // events, and must flow-link every job of this phase. Written
+        // to TRACE_serving.json for CI upload either way.
+        std::ostringstream doc;
+        corrLinked = obs::writeCorrelatedTrace(doc, traces, events);
+        const std::string docStr = doc.str();
+        {
+            std::ofstream out("TRACE_serving.json");
+            out << docStr;
+        }
+        std::string why;
+        if (corrFailure.empty()) {
+            if (!f1::testing::isValidJson(docStr, &why))
+                corrFailure = "TRACE_serving.json invalid: " + why;
+            else if (docStr.find("\"ph\": \"s\"") ==
+                         std::string::npos ||
+                     docStr.find("\"ph\": \"f\"") ==
+                         std::string::npos)
+                corrFailure =
+                    "correlated trace carries no flow events";
+            else if (corrLinked < corrJobs)
+                corrFailure = "correlated trace flow-linked " +
+                              std::to_string(corrLinked) + " of " +
+                              std::to_string(corrJobs) + " jobs";
+        }
+
+        // The observatory must have fitted the phase's op kinds.
+        const auto fits = obs::ScheduleCalibration::global().snapshot();
+        corrCalibKinds = fits.size();
+        if (corrFailure.empty() && corrCalibKinds < 5)
+            corrFailure = "calibration fitted only " +
+                          std::to_string(corrCalibKinds) +
+                          " op kinds (need >= 5)";
+
+        // The live-introspection endpoints, over real sockets.
+        std::string body;
+        if (corrFailure.empty()) {
+            if (obs::httpGet(exporter.port(), "/calibration.json",
+                             &body) != 200 ||
+                !f1::testing::isValidJson(body, &why))
+                corrFailure = "/calibration.json invalid";
+            else if (obs::httpGet(exporter.port(), "/tracez?ms=20",
+                                  &body) != 200 ||
+                     !f1::testing::isValidJson(body, &why))
+                corrFailure = "/tracez invalid";
+        }
+    }
+
     // --- Self-scrape over real sockets: what CI's curl would see.
     std::string scrapeFailure;
     {
@@ -429,6 +602,14 @@ run(bool smoke)
                telemetryOnJps > 0 ? telemetryOffJps / telemetryOnJps
                                   : 0.0);
     }
+    printf("  \"correlation\": {\"jobs\": %zu, \"flow_linked\": %zu, "
+           "\"calibration_kinds\": %zu, \"ok\": %s%s%s},\n",
+           corrJobs, corrLinked, corrCalibKinds,
+           corrFailure.empty() ? "true" : "false",
+           corrFailure.empty() ? "" : ", \"failure\": ",
+           corrFailure.empty()
+               ? ""
+               : ("\"" + corrFailure + "\"").c_str());
     printf("  \"metrics\": %s\n}\n",
            obs::MetricsRegistry::global().snapshot().toJson().c_str());
 
@@ -471,6 +652,11 @@ run(bool smoke)
                 "than 1.5x below telemetry-off %.2f jobs/s\n",
                 telemetryOnJps, telemetryOffJps);
         return 4;
+    }
+    if (!corrFailure.empty()) {
+        fprintf(stderr, "FAIL: trace correlation: %s\n",
+                corrFailure.c_str());
+        return 5;
     }
     return 0;
 }

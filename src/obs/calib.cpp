@@ -1,0 +1,175 @@
+#include "obs/calib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace f1::obs {
+
+namespace {
+
+uint64_t
+clampToGauge(double v)
+{
+    if (!(v > 0))
+        return 0;
+    return static_cast<uint64_t>(v);
+}
+
+} // namespace
+
+ScheduleCalibration &
+ScheduleCalibration::global()
+{
+    static ScheduleCalibration *c = new ScheduleCalibration;
+    return *c;
+}
+
+void
+ScheduleCalibration::record(size_t kind, const char *name,
+                            uint64_t predictedCycle, int64_t measuredNs)
+{
+    if (kind >= kMaxKinds || name == nullptr)
+        return;
+    Kind &k = kinds_[kind];
+    std::lock_guard<std::mutex> lock(k.m);
+    if (k.name == nullptr) {
+        k.name = name;
+        // Gauge registration takes the registry lock while holding the
+        // kind mutex; that order is acyclic because gauge callbacks
+        // (run under the registry lock) only read atomics.
+        MetricsRegistry &reg = MetricsRegistry::global();
+        const std::string base = std::string("calib.") + name + ".";
+        k.gauges.push_back(reg.gauge(
+            base + "samples", [&k] {
+                return k.gSamples.load(std::memory_order_relaxed);
+            }));
+        k.gauges.push_back(reg.gauge(
+            base + "slope_milli", [&k] {
+                return k.gSlopeMilli.load(std::memory_order_relaxed);
+            }));
+        k.gauges.push_back(reg.gauge(
+            base + "intercept_ns", [&k] {
+                return k.gInterceptNs.load(std::memory_order_relaxed);
+            }));
+        k.gauges.push_back(reg.gauge(
+            base + "mae_ns", [&k] {
+                return k.gMaeNs.load(std::memory_order_relaxed);
+            }));
+    }
+    const double x = static_cast<double>(predictedCycle);
+    const double y = static_cast<double>(measuredNs);
+    k.n += 1;
+    k.sx += x;
+    k.sy += y;
+    k.sxx += x * x;
+    k.sxy += x * y;
+    if (k.ring.size() < kRingCap) {
+        k.ring.emplace_back(x, y);
+    } else {
+        k.ring[k.ringNext] = {x, y};
+        k.ringNext = (k.ringNext + 1) % kRingCap;
+    }
+    refit(k);
+}
+
+void
+ScheduleCalibration::refit(Kind &k)
+{
+    const double n = static_cast<double>(k.n);
+    const double den = n * k.sxx - k.sx * k.sx;
+    double slope = 0, intercept = 0;
+    if (k.n >= 2 && std::abs(den) > 1e-9) {
+        slope = (n * k.sxy - k.sx * k.sy) / den;
+        intercept = (k.sy - slope * k.sx) / n;
+    } else if (k.n >= 1) {
+        // All predictions identical (or a single sample): the best
+        // constant model is the mean measured start.
+        intercept = k.sy / n;
+    }
+    double absErr = 0;
+    for (const auto &[x, y] : k.ring)
+        absErr += std::abs(y - (slope * x + intercept));
+    const double mae =
+        k.ring.empty() ? 0 : absErr / double(k.ring.size());
+
+    k.gSamples.store(k.n, std::memory_order_relaxed);
+    k.gSlopeMilli.store(clampToGauge(slope * 1000.0),
+                        std::memory_order_relaxed);
+    k.gInterceptNs.store(clampToGauge(intercept),
+                         std::memory_order_relaxed);
+    k.gMaeNs.store(clampToGauge(mae), std::memory_order_relaxed);
+}
+
+std::vector<ScheduleCalibration::KindFit>
+ScheduleCalibration::snapshot() const
+{
+    std::vector<KindFit> out;
+    for (const Kind &k : kinds_) {
+        std::lock_guard<std::mutex> lock(k.m);
+        if (k.name == nullptr || k.n == 0)
+            continue;
+        KindFit f;
+        f.name = k.name;
+        f.samples = k.n;
+        const double n = static_cast<double>(k.n);
+        const double den = n * k.sxx - k.sx * k.sx;
+        if (k.n >= 2 && std::abs(den) > 1e-9) {
+            f.slopeNsPerCycle = (n * k.sxy - k.sx * k.sy) / den;
+            f.interceptNs = (k.sy - f.slopeNsPerCycle * k.sx) / n;
+        } else {
+            f.interceptNs = k.sy / n;
+        }
+        double absErr = 0;
+        for (const auto &[x, y] : k.ring)
+            absErr += std::abs(
+                y - (f.slopeNsPerCycle * x + f.interceptNs));
+        f.maeNs = k.ring.empty() ? 0 : absErr / double(k.ring.size());
+        f.retained = k.ring.size();
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+std::string
+ScheduleCalibration::toJson() const
+{
+    const std::vector<KindFit> fits = snapshot();
+    std::ostringstream os;
+    os << "{\"ring_capacity\": " << kRingCap << ", \"kinds\": {";
+    bool first = true;
+    char buf[64];
+    for (const KindFit &f : fits) {
+        os << (first ? "" : ", ");
+        first = false;
+        os << "\"" << f.name << "\": {\"samples\": " << f.samples;
+        std::snprintf(buf, sizeof buf, "%.6f", f.slopeNsPerCycle);
+        os << ", \"slope_ns_per_cycle\": " << buf;
+        std::snprintf(buf, sizeof buf, "%.3f", f.interceptNs);
+        os << ", \"intercept_ns\": " << buf;
+        std::snprintf(buf, sizeof buf, "%.3f", f.maeNs);
+        os << ", \"mae_ns\": " << buf
+           << ", \"retained\": " << f.retained << "}";
+    }
+    os << "}}\n";
+    return os.str();
+}
+
+void
+ScheduleCalibration::reset()
+{
+    for (Kind &k : kinds_) {
+        std::lock_guard<std::mutex> lock(k.m);
+        k.n = 0;
+        k.sx = k.sy = k.sxx = k.sxy = 0;
+        k.ring.clear();
+        k.ringNext = 0;
+        k.gSamples.store(0, std::memory_order_relaxed);
+        k.gSlopeMilli.store(0, std::memory_order_relaxed);
+        k.gInterceptNs.store(0, std::memory_order_relaxed);
+        k.gMaeNs.store(0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace f1::obs

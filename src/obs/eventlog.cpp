@@ -55,7 +55,21 @@ servingEventKindName(ServingEventKind kind)
 
 FlightRecorder::FlightRecorder(size_t capacity)
     : cap_(capacity == 0 ? 1 : capacity),
-      slots_(std::make_unique<Slot[]>(cap_))
+      slots_(std::make_unique<Slot[]>(cap_)),
+      droppedGauge_(MetricsRegistry::global().gauge(
+          "eventlog.dropped",
+          [this] {
+              // Atomics only — snapshot() holds the registry lock
+              // while evaluating gauges (lock-order rule in
+              // obs/metrics.h). Overwritten-by-wraparound plus
+              // torn-slot discards across this recorder's lifetime.
+              const uint64_t total =
+                  next_.load(std::memory_order_relaxed);
+              const uint64_t overwritten =
+                  total > cap_ ? total - cap_ : 0;
+              return overwritten +
+                     tornDropped_.load(std::memory_order_relaxed);
+          }))
 {
 }
 
@@ -71,7 +85,7 @@ FlightRecorder::global()
 void
 FlightRecorder::record(ServingEventKind kind, uint64_t jobId,
                        std::string_view tenant, uint64_t fingerprint,
-                       uint32_t batchSize)
+                       uint32_t batchSize, uint64_t traceId)
 {
     const uint64_t seq =
         next_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -91,6 +105,7 @@ FlightRecorder::record(ServingEventKind kind, uint64_t jobId,
                      (uint64_t(batchSize) << 8) |
                      (uint64_t(len) << 40),
                  std::memory_order_relaxed);
+    s.w[4].store(traceId, std::memory_order_relaxed);
     for (size_t wi = 0; wi < kTenantWords; ++wi) {
         uint64_t word = 0;
         for (size_t b = 0; b < 8; ++b) {
@@ -98,7 +113,7 @@ FlightRecorder::record(ServingEventKind kind, uint64_t jobId,
             if (i < len)
                 word |= uint64_t(uint8_t(tenant[i])) << (8 * b);
         }
-        s.w[4 + wi].store(word, std::memory_order_relaxed);
+        s.w[5 + wi].store(word, std::memory_order_relaxed);
     }
     s.ticket.store(2 * seq, std::memory_order_release);
 }
@@ -110,11 +125,14 @@ FlightRecorder::dump() const
     out.reserve(cap_);
     for (size_t i = 0; i < cap_; ++i) {
         const Slot &s = slots_[i];
+        bool pushed = false;
+        bool sawData = false;
         for (int attempt = 0; attempt < 4; ++attempt) {
             const uint64_t t1 =
                 s.ticket.load(std::memory_order_acquire);
             if (t1 == 0)
                 break; // never written
+            sawData = true;
             if (t1 & 1)
                 continue; // mid-write; retry
             ServingEvent ev;
@@ -127,12 +145,13 @@ FlightRecorder::dump() const
                 s.w[3].load(std::memory_order_relaxed);
             ev.kind = ServingEventKind(uint8_t(packed));
             ev.batchSize = uint32_t(packed >> 8);
+            ev.traceId = s.w[4].load(std::memory_order_relaxed);
             const size_t len =
                 std::min<size_t>((packed >> 40) & 0xff, kTenantBytes);
             ev.tenant.resize(len);
             for (size_t wi = 0; wi < kTenantWords; ++wi) {
                 const uint64_t word =
-                    s.w[4 + wi].load(std::memory_order_relaxed);
+                    s.w[5 + wi].load(std::memory_order_relaxed);
                 for (size_t b = 0; b < 8; ++b) {
                     const size_t ci = wi * 8 + b;
                     if (ci < len)
@@ -143,8 +162,11 @@ FlightRecorder::dump() const
             if (s.ticket.load(std::memory_order_relaxed) != t1)
                 continue; // overwritten under us; retry
             out.push_back(std::move(ev));
+            pushed = true;
             break;
         }
+        if (sawData && !pushed)
+            tornDropped_.fetch_add(1, std::memory_order_relaxed);
     }
     std::sort(out.begin(), out.end(),
               [](const ServingEvent &a, const ServingEvent &b) {
@@ -179,7 +201,10 @@ FlightRecorder::dumpJson() const
         // JSON consumers that parse numbers as doubles keep the bits.
         std::snprintf(buf, sizeof buf, "0x%016llx",
                       static_cast<unsigned long long>(ev.fingerprint));
-        os << ", \"fingerprint\": \"" << buf << "\""
+        os << ", \"fingerprint\": \"" << buf << "\"";
+        std::snprintf(buf, sizeof buf, "0x%016llx",
+                      static_cast<unsigned long long>(ev.traceId));
+        os << ", \"trace_id\": \"" << buf << "\""
            << ", \"batch_size\": " << ev.batchSize << "}";
     }
     os << "]}";

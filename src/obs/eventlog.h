@@ -37,6 +37,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace f1::obs {
 
 /** Serving-pipeline lifecycle transitions (see serving.h stages). */
@@ -60,6 +62,7 @@ struct ServingEvent
     double tsMs = 0;   //!< steady-clock stamp (steadyNowMs)
     uint64_t jobId = 0;      //!< 0 = not yet assigned / batch-level
     uint64_t fingerprint = 0; //!< Program::fingerprint()
+    uint64_t traceId = 0;     //!< per-job correlation id; 0 = none
     uint32_t batchSize = 0;   //!< members, where meaningful
     ServingEventKind kind = ServingEventKind::kSubmit;
     std::string tenant; //!< truncated to kTenantBytes
@@ -80,10 +83,11 @@ class FlightRecorder
     static FlightRecorder &global();
 
     /** Lock-free; safe from any thread, including under engine
-     *  locks. */
+     *  locks. `traceId` is the job's correlation id from
+     *  obs/tracectx.h (0 = none, e.g. pre-PR-10 callers). */
     void record(ServingEventKind kind, uint64_t jobId,
                 std::string_view tenant, uint64_t fingerprint = 0,
-                uint32_t batchSize = 0);
+                uint32_t batchSize = 0, uint64_t traceId = 0);
 
     /** Committed events in causal (sequence) order. A concurrent
      *  writer may cost a dump the slots it is overwriting; those
@@ -111,17 +115,27 @@ class FlightRecorder
     // Payload packing (all relaxed atomic words):
     //   w[0] jobId          w[1] fingerprint
     //   w[2] bit_cast(tsMs) w[3] kind | batchSize<<8 | tenantLen<<40
-    //   w[4..6] tenant bytes, NUL-padded
+    //   w[4] traceId        w[5..7] tenant bytes, NUL-padded
     static constexpr size_t kTenantWords = 3;
     struct Slot
     {
         std::atomic<uint64_t> ticket{0};
-        std::atomic<uint64_t> w[4 + kTenantWords]{};
+        std::atomic<uint64_t> w[5 + kTenantWords]{};
     };
 
     const size_t cap_;
     std::unique_ptr<Slot[]> slots_;
     std::atomic<uint64_t> next_{0};
+
+    /** Slots a dump had to discard after exhausting its retries
+     *  (writer kept overwriting them). Cumulative across all dumps of
+     *  this recorder's lifetime — it feeds the eventlog.dropped gauge
+     *  together with the wraparound-overwritten count. */
+    mutable std::atomic<uint64_t> tornDropped_{0};
+
+    /** Registers eventlog.dropped. Declared LAST so it unregisters
+     *  before any state it reads is destroyed. */
+    GaugeHandle droppedGauge_;
 };
 
 } // namespace f1::obs

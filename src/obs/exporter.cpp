@@ -46,7 +46,8 @@ mapName(const std::string &raw)
     // dot of the remainder.
     for (const auto &[prefix, label] :
          {std::pair<const char *, const char *>{"slo.", "tenant"},
-          {"cache.", "cache"}}) {
+          {"cache.", "cache"},
+          {"calib.", "op"}}) {
         const size_t plen = std::strlen(prefix);
         if (raw.compare(0, plen, prefix) != 0)
             continue;
@@ -268,6 +269,15 @@ MetricsExporter::stop()
 MetricsExporter::Response
 MetricsExporter::handle(std::string_view path) const
 {
+    // Split off the query string; today only /tracez reads it, but
+    // every route tolerates one (a scraper adding ?foo never 404s).
+    std::string_view query;
+    const size_t qpos = path.find('?');
+    if (qpos != std::string_view::npos) {
+        query = path.substr(qpos + 1);
+        path = path.substr(0, qpos);
+    }
+
     Response r;
     if (path == "/metrics") {
         const MetricsSnapshot snap =
@@ -290,6 +300,27 @@ MetricsExporter::handle(std::string_view path) const
                                         : &FlightRecorder::global();
         r.contentType = "application/json";
         r.body = rec->dumpJson();
+    } else if (path == "/calibration.json") {
+        const ScheduleCalibration *calib =
+            cfg_.calib != nullptr ? cfg_.calib
+                                  : &ScheduleCalibration::global();
+        r.contentType = "application/json";
+        r.body = calib->toJson();
+    } else if (path == "/tracez") {
+        int64_t ms = 50;
+        const size_t mpos = query.find("ms=");
+        if (mpos != std::string_view::npos &&
+            (mpos == 0 || query[mpos - 1] == '&')) {
+            const long v =
+                std::atol(std::string(query.substr(mpos + 3)).c_str());
+            if (v > 0)
+                ms = v;
+        }
+        // captureJson clamps to 1..2000ms and blocks for the window;
+        // the serial server serves nothing else meanwhile (by design —
+        // see the header's endpoint table).
+        r.contentType = "application/json";
+        r.body = LiveTraceCapture::global().captureJson(ms);
     } else if (path == "/healthz") {
         r.body = "ok\n";
     } else {
@@ -325,12 +356,9 @@ MetricsExporter::serveOne(int fd)
         size_t pathEnd = req.find(' ', pathStart);
         if (pathEnd == std::string::npos)
             pathEnd = req.size();
-        std::string path =
-            req.substr(pathStart, pathEnd - pathStart);
-        const size_t query = path.find('?');
-        if (query != std::string::npos)
-            path.resize(query);
-        resp = handle(path);
+        // The query string passes through: handle() splits it.
+        resp = handle(std::string_view(req).substr(
+            pathStart, pathEnd - pathStart));
     }
 
     const char *statusText = resp.status == 200   ? "OK"

@@ -16,11 +16,19 @@
  *  - /tenants.json   SloTracker::toJson() (per-tenant attainment and
  *                    burn rate; "{}" when no tracker is wired)
  *  - /events.json    FlightRecorder::dumpJson()
+ *  - /calibration.json  ScheduleCalibration::toJson() — per-op-kind
+ *                    predicted-vs-measured schedule fit
+ *  - /tracez?ms=N    LiveTraceCapture::captureJson(N): arms the live
+ *                    capture ring, samples op spans for N ms (default
+ *                    50, clamped 1..2000), and returns them as Chrome
+ *                    trace JSON. Blocks the (serial) server for the
+ *                    window — a live-debugging request, not a scrape.
  *  - /healthz        200 "ok"
  *
  * Name mapping (Prometheus names admit [a-zA-Z0-9_:] only):
  *  - "slo.<tenant>.<leaf>"  -> f1_slo_<leaf>{tenant="<tenant>"}
  *  - "cache.<name>.<leaf>"  -> f1_cache_<leaf>{cache="<name>"}
+ *  - "calib.<op>.<leaf>"    -> f1_calib_<leaf>{op="<op>"}
  *  - anything else          -> "f1_" + name with [^a-zA-Z0-9_] -> '_'
  * so per-tenant and per-cache series aggregate under one family with
  * a label instead of exploding the metric namespace. Label values are
@@ -43,9 +51,11 @@
 #include <string_view>
 #include <thread>
 
+#include "obs/calib.h"
 #include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
+#include "obs/tracectx.h"
 
 namespace f1::obs {
 
@@ -73,6 +83,10 @@ struct ExporterConfig
 
     /** /events.json source; defaults to FlightRecorder::global(). */
     const FlightRecorder *events = nullptr;
+
+    /** /calibration.json source; defaults to
+     *  ScheduleCalibration::global(). */
+    const ScheduleCalibration *calib = nullptr;
 };
 
 class MetricsExporter
@@ -98,7 +112,8 @@ class MetricsExporter
         std::string body;
     };
 
-    /** Routes one request path to its response — the socket-free
+    /** Routes one request path (optionally carrying a "?key=value"
+     *  query, e.g. "/tracez?ms=20") to its response — the socket-free
      *  core, used directly by tests. */
     Response handle(std::string_view path) const;
 

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace f1::obs {
 
@@ -201,6 +202,12 @@ struct ExecutionProfile
     double executeMs = 0; //!< timed phase (== ExecutionResult.wallMs)
 
     std::string label; //!< TelemetryOptions::label (serving: tenant)
+
+    /** Correlation ids of the batch members this profile covers, in
+     *  member order (obs/tracectx.h; one entry per fused job, 0 for
+     *  untraced members). A profile covers the WHOLE fused batch, so
+     *  every member's trace id maps to it. */
+    std::vector<uint64_t> traceIds;
 
     std::string toJson() const;
 };

@@ -137,6 +137,18 @@ SloTracker::recordJob(const std::string &tenant, double latencyMs,
     }
 }
 
+double
+SloTracker::burnRate(const std::string &tenant) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end())
+        return 0.0;
+    return burnRateOf(
+        it->second->winTotal.load(std::memory_order_relaxed),
+        it->second->winMisses.load(std::memory_order_relaxed));
+}
+
 std::map<std::string, SloTracker::TenantSlo>
 SloTracker::snapshot() const
 {

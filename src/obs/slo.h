@@ -89,6 +89,16 @@ class SloTracker
 
     std::map<std::string, TenantSlo> snapshot() const;
 
+    /**
+     * Current window burn rate for one tenant (0.0 if unknown). Takes
+     * the tracker mutex; safe to call under the serving engine's lock
+     * (the dispatch path does) because the only other m_ holders are
+     * recordJob — called OUTSIDE the engine lock — and the snapshot
+     * paths, and the gauges read atomics without m_, so no cycle with
+     * the registry lock exists either.
+     */
+    double burnRate(const std::string &tenant) const;
+
     /** {"target_attainment":...,"window_size":...,"tenants":{...}} —
      *  valid JSON (tests/json_lint.h), served as /tenants.json. */
     std::string toJson() const;

@@ -7,9 +7,10 @@
  * whole obs/ subsystem is designed around: with profile and trace
  * both false, an execution performs no clock reads, no allocations,
  * and no atomic traffic beyond the pre-existing stats counters — the
- * hot-path hooks reduce to thread-local null checks (< 1% on the
- * scheduler-latency bench; tests assert no profile/trace artifacts
- * are produced).
+ * hot-path hooks reduce to thread-local null checks plus one relaxed
+ * atomic load per op for the /tracez live-capture arm check
+ * (obs/tracectx.h; < 1% on the scheduler-latency bench; tests assert
+ * no profile/trace artifacts are produced).
  */
 #ifndef F1_OBS_TELEMETRY_H
 #define F1_OBS_TELEMETRY_H

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace f1::obs {
 
 namespace {
@@ -92,13 +94,14 @@ Tracer::lane()
 
 void
 Tracer::span(const char *name, int32_t handle, int64_t tsNs,
-             int64_t durNs, int64_t predictedCycle)
+             int64_t durNs, int64_t predictedCycle, uint64_t traceId)
 {
     Lane &l = lane();
     TraceEvent &e = l.ring[l.head];
     e.tsNs = tsNs;
     e.durNs = durNs;
     e.predictedCycle = predictedCycle;
+    e.traceId = traceId;
     e.name = name;
     e.handle = handle;
     e.kind = TraceEventKind::kOpSpan;
@@ -114,6 +117,7 @@ Tracer::instant(TraceEventKind kind, int32_t handle, int64_t tsNs)
     e.tsNs = tsNs;
     e.durNs = 0;
     e.predictedCycle = -1;
+    e.traceId = 0;
     e.name = instantName(kind);
     e.handle = handle;
     e.kind = kind;
@@ -128,6 +132,7 @@ Tracer::finish()
     Trace t;
     t.label_ = label_;
     t.lanes_ = lanes_.size();
+    t.epochNs_ = epochNs_;
     for (size_t li = 0; li < lanes_.size(); ++li) {
         Lane &l = *lanes_[li];
         const size_t kept = std::min<uint64_t>(l.written, laneCapacity_);
@@ -147,6 +152,11 @@ Tracer::finish()
                      [](const TraceEvent &a, const TraceEvent &b) {
                          return a.tsNs < b.tsNs;
                      });
+    if (t.dropped_ > 0) {
+        static Counter &dropped =
+            MetricsRegistry::global().counter("trace.dropped_events");
+        dropped.inc(t.dropped_);
+    }
     return t;
 }
 
@@ -164,11 +174,15 @@ Trace::writeJson(std::ostream &os) const
         const double tsUs = static_cast<double>(e.tsNs) / 1000.0;
         if (e.kind == TraceEventKind::kOpSpan) {
             const double durUs = static_cast<double>(e.durNs) / 1000.0;
+            char idBuf[24];
+            std::snprintf(idBuf, sizeof idBuf, "0x%016llx",
+                          static_cast<unsigned long long>(e.traceId));
             os << "  {\"name\": \"" << (e.name ? e.name : "op")
                << "\", \"cat\": \"op\", \"ph\": \"X\", \"ts\": " << tsUs
                << ", \"dur\": " << durUs << ", \"pid\": 0, \"tid\": "
                << e.lane << ", \"args\": {\"handle\": " << e.handle
-               << ", \"predicted_start_cycle\": " << e.predictedCycle
+               << ", \"trace_id\": \"" << idBuf
+               << "\", \"predicted_start_cycle\": " << e.predictedCycle
                << "}}";
         } else {
             os << "  {\"name\": \"" << (e.name ? e.name : "event")

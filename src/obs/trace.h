@@ -46,6 +46,7 @@ struct TraceEvent
     int64_t tsNs = 0;  //!< start, ns since the tracer's epoch
     int64_t durNs = 0; //!< spans only
     int64_t predictedCycle = -1; //!< compiler hint; -1 = unhinted
+    uint64_t traceId = 0; //!< serving job correlation id; 0 = untraced
     const char *name = nullptr;  //!< static string (op kind name)
     int32_t handle = -1;         //!< DSL handle
     uint16_t lane = 0;           //!< filled at merge
@@ -62,6 +63,12 @@ class Trace
     size_t laneCount() const { return lanes_; }
     const std::string &label() const { return label_; }
 
+    /** Absolute steady-clock ns of the source tracer's epoch — event
+     *  tsNs values are relative to this, so traces from different
+     *  tracers (and the flight recorder's tsMs stamps) can be merged
+     *  onto one timeline (obs/tracectx.h). */
+    int64_t epochNs() const { return epochNs_; }
+
     /** Chrome trace-event JSON ({"traceEvents": [...], ...}); load in
      *  ui.perfetto.dev or chrome://tracing. */
     void writeJson(std::ostream &os) const;
@@ -73,6 +80,7 @@ class Trace
     size_t spans_ = 0;
     uint64_t dropped_ = 0;
     size_t lanes_ = 0;
+    int64_t epochNs_ = 0;
     std::string label_;
 };
 
@@ -89,9 +97,15 @@ class Tracer
     /** ns since the tracer's epoch, on the steady clock. */
     int64_t nowNs() const;
 
-    /** Records one op span. `name` must be a static string. */
+    /** Absolute steady-clock ns of this tracer's epoch. */
+    int64_t epochNs() const { return epochNs_; }
+
+    /** Records one op span. `name` must be a static string;
+     *  `traceId` is the serving job's correlation id (0 = untraced
+     *  standalone execution). */
     void span(const char *name, int32_t handle, int64_t tsNs,
-              int64_t durNs, int64_t predictedCycle);
+              int64_t durNs, int64_t predictedCycle,
+              uint64_t traceId = 0);
 
     /** Records an instant event (steal, release). */
     void instant(TraceEventKind kind, int32_t handle, int64_t tsNs);

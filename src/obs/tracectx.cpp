@@ -1,0 +1,367 @@
+#include "obs/tracectx.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <thread>
+
+namespace f1::obs {
+
+namespace {
+
+/** Tenant ids are the only free-form strings in the export. */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+hexId(uint64_t id)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
+void
+appendUs(std::ostream &os, int64_t ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(ns) / 1000.0);
+    os << buf;
+}
+
+/** Per-thread capture lane id: stable for the thread's lifetime, so
+ *  one worker's spans stay on one row of the /tracez view. */
+uint32_t
+captureLane()
+{
+    static std::atomic<uint32_t> g_nextLane{0};
+    thread_local const uint32_t lane =
+        g_nextLane.fetch_add(1, std::memory_order_relaxed);
+    return lane;
+}
+
+} // namespace
+
+uint64_t
+allocateTraceId()
+{
+    // splitmix64 over a relaxed counter: unique per process (the
+    // counter), well-distributed (the mixer), and never 0.
+    static std::atomic<uint64_t> g_next{0};
+    uint64_t z = (g_next.fetch_add(1, std::memory_order_relaxed) + 1) *
+                 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z != 0 ? z : 1;
+}
+
+LiveTraceCapture::LiveTraceCapture(size_t capacity)
+    : cap_(capacity == 0 ? 1 : capacity),
+      slots_(std::make_unique<Slot[]>(cap_))
+{
+}
+
+LiveTraceCapture &
+LiveTraceCapture::global()
+{
+    // Leaked for the same reason as FlightRecorder::global():
+    // executors may record during static teardown.
+    static LiveTraceCapture *cap = new LiveTraceCapture;
+    return *cap;
+}
+
+void
+LiveTraceCapture::record(int64_t tsNs, int64_t durNs, const char *name,
+                         int32_t handle, uint64_t traceId,
+                         int64_t predictedCycle)
+{
+    const uint64_t seq =
+        next_.fetch_add(1, std::memory_order_relaxed) + 1;
+    Slot &s = slots_[(seq - 1) % cap_];
+    // Same per-slot seqlock as the flight recorder: odd ticket while
+    // writing, even when committed; every payload word is an atomic,
+    // so a torn read is a DISCARDED span, never UB.
+    s.ticket.store(2 * seq + 1, std::memory_order_release);
+    s.w[0].store(static_cast<uint64_t>(tsNs),
+                 std::memory_order_relaxed);
+    s.w[1].store(static_cast<uint64_t>(durNs),
+                 std::memory_order_relaxed);
+    s.w[2].store(reinterpret_cast<uintptr_t>(name),
+                 std::memory_order_relaxed);
+    s.w[3].store(uint64_t(uint32_t(handle)) |
+                     (uint64_t(captureLane()) << 32),
+                 std::memory_order_relaxed);
+    s.w[4].store(traceId, std::memory_order_relaxed);
+    s.w[5].store(static_cast<uint64_t>(predictedCycle),
+                 std::memory_order_relaxed);
+    s.ticket.store(2 * seq, std::memory_order_release);
+}
+
+std::vector<LiveTraceCapture::CapturedSpan>
+LiveTraceCapture::spansSince(int64_t sinceNs) const
+{
+    std::vector<CapturedSpan> out;
+    out.reserve(cap_);
+    for (size_t i = 0; i < cap_; ++i) {
+        const Slot &s = slots_[i];
+        for (int attempt = 0; attempt < 4; ++attempt) {
+            const uint64_t t1 =
+                s.ticket.load(std::memory_order_acquire);
+            if (t1 == 0)
+                break; // never written
+            if (t1 & 1)
+                continue; // mid-write; retry
+            CapturedSpan sp;
+            sp.tsNs = static_cast<int64_t>(
+                s.w[0].load(std::memory_order_relaxed));
+            sp.durNs = static_cast<int64_t>(
+                s.w[1].load(std::memory_order_relaxed));
+            sp.name = reinterpret_cast<const char *>(
+                static_cast<uintptr_t>(
+                    s.w[2].load(std::memory_order_relaxed)));
+            const uint64_t packed =
+                s.w[3].load(std::memory_order_relaxed);
+            sp.handle = int32_t(uint32_t(packed));
+            sp.lane = uint32_t(packed >> 32);
+            sp.traceId = s.w[4].load(std::memory_order_relaxed);
+            sp.predictedCycle = static_cast<int64_t>(
+                s.w[5].load(std::memory_order_relaxed));
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (s.ticket.load(std::memory_order_relaxed) != t1)
+                continue; // overwritten under us; retry
+            if (sp.tsNs >= sinceNs)
+                out.push_back(sp);
+            break;
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CapturedSpan &a, const CapturedSpan &b) {
+                  return a.tsNs < b.tsNs;
+              });
+    return out;
+}
+
+std::string
+LiveTraceCapture::captureJson(int64_t windowMs)
+{
+    const int64_t ms = std::clamp<int64_t>(windowMs, 1, 2000);
+    const int64_t t0 = steadyNowNs();
+    arm();
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    disarm();
+    const std::vector<CapturedSpan> spans = spansSince(t0);
+
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\": \"ms\", \"otherData\": "
+          "{\"window_ms\": "
+       << ms << ", \"captured\": " << spans.size()
+       << ", \"ring_capacity\": " << cap_
+       << ", \"recorded_total\": " << recorded()
+       << "},\n\"traceEvents\": [";
+    bool first = true;
+    for (const CapturedSpan &sp : spans) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "  {\"name\": \"" << (sp.name ? sp.name : "op")
+           << "\", \"cat\": \"op\", \"ph\": \"X\", \"ts\": ";
+        appendUs(os, sp.tsNs - t0);
+        os << ", \"dur\": ";
+        appendUs(os, sp.durNs);
+        os << ", \"pid\": 0, \"tid\": " << sp.lane
+           << ", \"args\": {\"handle\": " << sp.handle
+           << ", \"trace_id\": \"" << hexId(sp.traceId)
+           << "\", \"predicted_start_cycle\": " << sp.predictedCycle
+           << "}}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+size_t
+writeCorrelatedTrace(
+    std::ostream &os,
+    std::span<const std::shared_ptr<const Trace>> traces,
+    const std::vector<ServingEvent> &events)
+{
+    // Everything below is on ONE clock (steady): serving events carry
+    // steadyNowMs stamps, traces carry their tracer's absolute epoch.
+    // Re-base onto the earliest timestamp so the document starts at 0.
+    int64_t base = std::numeric_limits<int64_t>::max();
+    for (const auto &t : traces) {
+        if (t != nullptr && !t->events().empty())
+            base = std::min(base,
+                            t->epochNs() + t->events().front().tsNs);
+    }
+    for (const ServingEvent &e : events)
+        base = std::min(
+            base, static_cast<int64_t>(e.tsMs * 1e6));
+    if (base == std::numeric_limits<int64_t>::max())
+        base = 0;
+
+    // First executor span per trace id — the flow arrow's target.
+    struct SpanRef
+    {
+        int64_t tsNs = 0;
+        uint32_t tid = 0;
+        bool set = false;
+    };
+    std::map<uint64_t, SpanRef> firstSpan;
+    {
+        uint32_t tidBase = 0;
+        for (const auto &t : traces) {
+            if (t == nullptr)
+                continue;
+            for (const TraceEvent &e : t->events()) {
+                if (e.kind != TraceEventKind::kOpSpan ||
+                    e.traceId == 0)
+                    continue;
+                const int64_t abs = t->epochNs() + e.tsNs;
+                SpanRef &ref = firstSpan[e.traceId];
+                if (!ref.set || abs < ref.tsNs) {
+                    ref.tsNs = abs;
+                    ref.tid = tidBase + e.lane;
+                    ref.set = true;
+                }
+            }
+            tidBase += uint32_t(std::max<size_t>(t->laneCount(), 1));
+        }
+    }
+
+    // Lifecycle events per trace id, in causal (seq) order.
+    std::map<uint64_t, std::vector<const ServingEvent *>> lifecycle;
+    for (const ServingEvent &e : events)
+        if (e.traceId != 0)
+            lifecycle[e.traceId].push_back(&e);
+    for (auto &[id, evs] : lifecycle)
+        std::sort(evs.begin(), evs.end(),
+                  [](const ServingEvent *a, const ServingEvent *b) {
+                      return a->seq < b->seq;
+                  });
+
+    size_t linked = 0;
+    os << "{\"displayTimeUnit\": \"ms\", \"otherData\": "
+          "{\"traces\": "
+       << traces.size() << ", \"serving_events\": " << events.size()
+       << ", \"jobs\": " << lifecycle.size()
+       << "},\n\"traceEvents\": [\n"
+       << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+          "\"args\": {\"name\": \"executor\"}},\n"
+       << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"args\": {\"name\": \"serving\"}},\n"
+       << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"tid\": 0, \"args\": {\"name\": \"lifecycle\"}}";
+
+    // Executor lanes: one tid block per trace, lanes keep their ids.
+    uint32_t tidBase = 0;
+    for (const auto &t : traces) {
+        if (t == nullptr)
+            continue;
+        for (const TraceEvent &e : t->events()) {
+            const int64_t abs = t->epochNs() + e.tsNs;
+            const uint32_t tid = tidBase + e.lane;
+            os << ",\n";
+            if (e.kind == TraceEventKind::kOpSpan) {
+                os << "  {\"name\": \"" << (e.name ? e.name : "op")
+                   << "\", \"cat\": \"op\", \"ph\": \"X\", \"ts\": ";
+                appendUs(os, abs - base);
+                os << ", \"dur\": ";
+                appendUs(os, e.durNs);
+                os << ", \"pid\": 0, \"tid\": " << tid
+                   << ", \"args\": {\"handle\": " << e.handle
+                   << ", \"trace_id\": \"" << hexId(e.traceId)
+                   << "\", \"predicted_start_cycle\": "
+                   << e.predictedCycle << "}}";
+            } else {
+                os << "  {\"name\": \""
+                   << (e.name ? e.name : "event")
+                   << "\", \"cat\": \"sched\", \"ph\": \"i\", "
+                      "\"s\": \"t\", \"ts\": ";
+                appendUs(os, abs - base);
+                os << ", \"pid\": 0, \"tid\": " << tid
+                   << ", \"args\": {\"handle\": " << e.handle
+                   << "}}";
+            }
+        }
+        tidBase += uint32_t(std::max<size_t>(t->laneCount(), 1));
+    }
+
+    // Serving lifecycle lane.
+    for (const ServingEvent &e : events) {
+        const int64_t abs = static_cast<int64_t>(e.tsMs * 1e6);
+        os << ",\n  {\"name\": \"" << servingEventKindName(e.kind)
+           << "\", \"cat\": \"serving\", \"ph\": \"i\", \"s\": "
+              "\"t\", \"ts\": ";
+        appendUs(os, abs - base);
+        os << ", \"pid\": 1, \"tid\": 0, \"args\": {\"seq\": "
+           << e.seq << ", \"job_id\": " << e.jobId
+           << ", \"tenant\": \"" << escapeJson(e.tenant)
+           << "\", \"batch_size\": " << e.batchSize
+           << ", \"trace_id\": \"" << hexId(e.traceId) << "\"}}";
+    }
+
+    // Flow events: the arrows from each job's lifecycle chain into
+    // its first executor span.
+    for (const auto &[id, evs] : lifecycle) {
+        const std::string hid = hexId(id);
+        for (size_t i = 0; i < evs.size(); ++i) {
+            const int64_t abs =
+                static_cast<int64_t>(evs[i]->tsMs * 1e6);
+            os << ",\n  {\"name\": \"job\", \"cat\": \"job\", "
+                  "\"ph\": \""
+               << (i == 0 ? 's' : 't') << "\", \"id\": \"" << hid
+               << "\", \"ts\": ";
+            appendUs(os, abs - base);
+            os << ", \"pid\": 1, \"tid\": 0}";
+        }
+        auto it = firstSpan.find(id);
+        if (it == firstSpan.end() || !it->second.set)
+            continue;
+        os << ",\n  {\"name\": \"job\", \"cat\": \"job\", \"ph\": "
+              "\"f\", \"bp\": \"e\", \"id\": \""
+           << hid << "\", \"ts\": ";
+        appendUs(os, it->second.tsNs - base);
+        os << ", \"pid\": 0, \"tid\": " << it->second.tid << "}";
+        ++linked;
+    }
+
+    os << "\n]}\n";
+    return linked;
+}
+
+std::string
+correlatedTraceJson(
+    std::span<const std::shared_ptr<const Trace>> traces,
+    const std::vector<ServingEvent> &events)
+{
+    std::ostringstream os;
+    writeCorrelatedTrace(os, traces, events);
+    return os.str();
+}
+
+} // namespace f1::obs

@@ -15,7 +15,9 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/time_util.h"
+#include "obs/calib.h"
 #include "obs/eventlog.h"
+#include "obs/tracectx.h"
 
 namespace f1 {
 
@@ -181,6 +183,13 @@ struct OpGraphExecutor::Member
     std::vector<std::optional<Ciphertext>> outs;
     uint64_t encodingCacheHits = 0;
     uint64_t encodingCacheMisses = 0;
+
+    /** Correlation id from RuntimeInputs (0 = untraced) and the
+     *  member's position in the batch — only member 0 feeds the
+     *  schedule-calibration fit (later members run back-to-back, so
+     *  their start times measure fusion, not the schedule). */
+    uint64_t traceId = 0;
+    uint32_t memberIndex = 0;
 };
 
 /**
@@ -206,6 +215,15 @@ struct OpGraphExecutor::RunState
     obs::ProfileCollector *collector = nullptr;
     obs::Tracer *tracer = nullptr;
     const ScheduleHints *hints = nullptr;
+
+    /** Absolute-epoch-relative ns at which the timed execute phase
+     *  began (tracer clock) — the origin for the schedule-calibration
+     *  measured starts. */
+    int64_t executeEpochNs = 0;
+
+    /** The process-wide live-capture ring (obs/tracectx.h); runOp
+     *  mirrors spans into it only while a /tracez window is armed. */
+    obs::LiveTraceCapture *live = nullptr;
 
     void
     release(int h)
@@ -532,18 +550,23 @@ OpGraphExecutor::executeOp(int h, RunState &st, Member &m) const
 
 /**
  * executeOp plus this run's telemetry. The telemetry-off path is one
- * null check and a tail call — no clock reads, which is what keeps
+ * null check, one relaxed atomic load (the /tracez live-capture arm
+ * check), and a tail call — no clock reads, which is what keeps
  * disabled runs inside the <1% overhead budget. Under batching the
  * trace carries one span per (op, member).
  */
 void
 OpGraphExecutor::runOp(int h, RunState &st, Member &m) const
 {
-    if (st.collector == nullptr && st.tracer == nullptr) {
+    const bool live = st.live != nullptr && st.live->armed();
+    if (st.collector == nullptr && st.tracer == nullptr && !live) {
         executeOp(h, st, m);
         return;
     }
     const HeOp &op = prog_.ops()[h];
+    const int64_t predicted =
+        st.hints != nullptr ? int64_t(st.hints->startCycle[size_t(h)])
+                            : -1;
     if (st.tracer != nullptr) {
         // Tracer timestamps are steady-clock ns past the tracer's
         // epoch, so the span pair doubles as the op duration.
@@ -552,20 +575,29 @@ OpGraphExecutor::runOp(int h, RunState &st, Member &m) const
         const int64_t ns = st.tracer->nowNs() - t0;
         if (st.collector != nullptr)
             st.collector->addOp(size_t(op.kind), uint64_t(ns));
-        const int64_t predicted =
-            st.hints != nullptr
-                ? int64_t(st.hints->startCycle[size_t(h)])
-                : -1;
-        st.tracer->span(opKindName(op.kind), h, t0, ns, predicted);
+        st.tracer->span(opKindName(op.kind), h, t0, ns, predicted,
+                        m.traceId);
+        // Calibration pairs the compiler's predicted start cycle with
+        // the measured start relative to the traversal's own start;
+        // only the lead member records (see Member::memberIndex).
+        if (predicted >= 0 && m.memberIndex == 0)
+            obs::ScheduleCalibration::global().record(
+                size_t(op.kind), opKindName(op.kind),
+                uint64_t(predicted), t0 - st.executeEpochNs);
+        if (live)
+            st.live->record(st.tracer->epochNs() + t0, ns,
+                            opKindName(op.kind), h, m.traceId,
+                            predicted);
         return;
     }
-    const auto c0 = std::chrono::steady_clock::now();
+    const int64_t a0 = obs::steadyNowNs();
     executeOp(h, st, m);
-    const int64_t ns =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - c0)
-            .count();
-    st.collector->addOp(size_t(op.kind), uint64_t(ns));
+    const int64_t ns = obs::steadyNowNs() - a0;
+    if (st.collector != nullptr)
+        st.collector->addOp(size_t(op.kind), uint64_t(ns));
+    if (live)
+        st.live->record(a0, ns, opKindName(op.kind), h, m.traceId,
+                        predicted);
 }
 
 /**
@@ -922,16 +954,20 @@ OpGraphExecutor::executeBatch(std::span<const RuntimeInputs> inputs,
 
     RunState st;
     st.members.resize(B);
-    for (Member &m : st.members) {
+    for (size_t b = 0; b < B; ++b) {
+        Member &m = st.members[b];
         m.cts.resize(n);
         m.outs.resize(n);
         m.bgvPts.resize(n);
         m.ckksSlots.resize(n);
+        m.traceId = inputs[b].traceId;
+        m.memberIndex = uint32_t(b);
     }
     st.indeg = indegree_;
     st.uses = consumers_;
     st.encCache = policy.encodingCache;
     st.hints = policy.scheduleHints;
+    st.live = &obs::LiveTraceCapture::global();
 
     // Telemetry collectors live on the stack for exactly this run.
     // The ProfileScope around each phase makes pool batches dispatched
@@ -965,7 +1001,8 @@ OpGraphExecutor::executeBatch(std::span<const RuntimeInputs> inputs,
     // throws, so a post-mortem shows WHERE in the pipeline a job died.
     obs::FlightRecorder &rec = obs::FlightRecorder::global();
     rec.record(obs::ServingEventKind::kDispatch, 0,
-               policy.telemetry.label, fp_, uint32_t(B));
+               policy.telemetry.label, fp_, uint32_t(B),
+               inputs[0].traceId);
 
     const double p0 = steadyNowMs();
     double prepareMs = 0;
@@ -981,6 +1018,9 @@ OpGraphExecutor::executeBatch(std::span<const RuntimeInputs> inputs,
         const double t0 = steadyNowMs();
         {
             obs::ProfileScope profScope(st.collector);
+            // The calibration origin: measured op starts are relative
+            // to the moment the traversal begins (tracer clock).
+            st.executeEpochNs = st.tracer ? st.tracer->nowNs() : 0;
             switch (policy.scheduler) {
               case SchedulerKind::kSerial:
                 runSerial(st);
@@ -996,7 +1036,8 @@ OpGraphExecutor::executeBatch(std::span<const RuntimeInputs> inputs,
         wallMs = steadyNowMs() - t0;
     } catch (...) {
         rec.record(obs::ServingEventKind::kFail, 0,
-                   policy.telemetry.label, fp_, uint32_t(B));
+                   policy.telemetry.label, fp_, uint32_t(B),
+                   inputs[0].traceId);
         throw;
     }
 
@@ -1035,6 +1076,8 @@ OpGraphExecutor::executeBatch(std::span<const RuntimeInputs> inputs,
             std::memory_order_relaxed);
         prof->prepareMs = prepareMs;
         prof->executeMs = wallMs;
+        for (const Member &m : st.members)
+            prof->traceIds.push_back(m.traceId);
         profile = std::move(prof);
     }
     std::shared_ptr<const obs::Trace> trace;

@@ -102,6 +102,14 @@ struct RuntimeInputs
     std::map<int, InputBinding> bindings;
     uint64_t seed = 0xdada;
 
+    /** Correlation id stamped by the serving engine at submit
+     *  (obs/tracectx.h); the executor carries it into tracer spans,
+     *  flight-recorder events, and the ExecutionProfile so one job's
+     *  artifacts share a key. Observability only — it NEVER affects
+     *  outputs (the determinism contract stays (program, inputs,
+     *  seed)). 0 = untraced. */
+    uint64_t traceId = 0;
+
     void
     bind(int handle, std::vector<uint64_t> slots)
     {

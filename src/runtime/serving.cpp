@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "common/time_util.h"
+#include "obs/tracectx.h"
 
 namespace f1 {
 
@@ -18,6 +19,7 @@ struct ServingMetrics
     obs::Counter &completed;
     obs::Counter &failed;
     obs::Counter &shed;
+    obs::Counter &dispatchPenalties;
     obs::Histogram &queueMs;
     obs::Histogram &serviceMs;
     obs::Histogram &batchSize;
@@ -37,6 +39,7 @@ struct ServingMetrics
             reg.counter("serving.jobs_completed"),
             reg.counter("serving.jobs_failed"),
             reg.counter("serving.shed_jobs"),
+            reg.counter("serving.dispatch_penalties"),
             reg.histogram("serving.queue_ms", {}, kLatencyQuantiles),
             reg.histogram("serving.service_ms", {},
                           kLatencyQuantiles),
@@ -211,8 +214,12 @@ ServingEngine::submit(JobRequest req)
                "that outlives the job's future");
     const TenantPolicy &tp = policyFor(req.tenant);
     const uint64_t fp = req.program->fingerprint();
+    // One correlation id per job, allocated before the first
+    // lifecycle event so even a SHED request is followable.
+    const uint64_t traceId = obs::allocateTraceId();
     obs::FlightRecorder &rec = obs::FlightRecorder::global();
-    rec.record(obs::ServingEventKind::kSubmit, 0, req.tenant, fp);
+    rec.record(obs::ServingEventKind::kSubmit, 0, req.tenant, fp, 0,
+               traceId);
 
     // Snapshot the registry BEFORE taking m_ (the snapshot evaluates
     // gauges across the process; keeping it outside our lock keeps
@@ -242,7 +249,7 @@ ServingEngine::submit(JobRequest req)
                 ServingMetrics::get().shed.inc();
                 ++stats_.shed;
                 rec.record(obs::ServingEventKind::kShed, 0,
-                           req.tenant, fp);
+                           req.tenant, fp, 0, traceId);
                 throw AdmissionRejected("job shed for tenant \"" +
                                         req.tenant + "\": " + d.reason);
             }
@@ -255,6 +262,11 @@ ServingEngine::submit(JobRequest req)
         job.programFp = fp;
         job.priority = tp.priority;
         job.deadlineAtMs = job.submitMs + tp.deadlineMs;
+        job.traceId = traceId;
+        // The inputs travel into executeBatch by move (runBatch), so
+        // stamping them here threads the id into spans + profile
+        // without widening the executor API.
+        job.req.inputs.traceId = traceId;
         fut = job.promise.get_future();
 
         auto [it, inserted] = queues_.try_emplace(job.req.tenant);
@@ -270,7 +282,8 @@ ServingEngine::submit(JobRequest req)
         depthNow_.store(pending_, std::memory_order_relaxed);
         depthPeak_.store(stats_.peakQueueDepth,
                          std::memory_order_relaxed);
-        rec.record(obs::ServingEventKind::kAdmit, jobId, tenant, fp);
+        rec.record(obs::ServingEventKind::kAdmit, jobId, tenant, fp,
+                   0, traceId);
     }
     cvWork_.notify_one();
     return fut;
@@ -299,23 +312,51 @@ ServingEngine::popBatch(std::vector<Job> &out)
         // kDeadline: a tenant's class is fixed and its queue is FIFO,
         // so each queue's front is that tenant's most urgent job —
         // scanning fronts finds the global (priority, EDF) head.
+        //
+        // Burn-rate penalty (the scheduling tier BELOW admission
+        // shedding): a tenant at/over half the configured shed
+        // threshold (AdmissionLimits::maxBurnRate) is already deep
+        // into its error budget, so its jobs lose to EVERY
+        // unpenalized tenant's regardless of class priority — the
+        // budget-burner yields the datapath before admission has to
+        // start rejecting it outright. Among equally-penalized (or
+        // equally-clean) fronts the normal priority/EDF/id order
+        // holds. Disabled when maxBurnRate is 0 (no SLO shedding
+        // configured means no SLO scheduling either). slo_.burnRate
+        // takes the tracker mutex under m_; safe — see obs/slo.h.
+        const double maxBurn = cfg_.admission.maxBurnRate;
         const Job *best = nullptr;
+        bool bestPenalized = false;
+        bool sawPenalized = false;
         for (size_t idx = 0; idx < n; ++idx) {
             auto &q = queues_[tenantOrder_[idx]];
             if (q.empty())
                 continue;
             const Job &c = q.front();
-            const bool wins =
-                best == nullptr || c.priority > best->priority ||
-                (c.priority == best->priority &&
-                 (c.deadlineAtMs < best->deadlineAtMs ||
-                  (c.deadlineAtMs == best->deadlineAtMs &&
-                   c.id < best->id)));
+            const bool penalized =
+                maxBurn > 0 &&
+                slo_.burnRate(tenantOrder_[idx]) >= 0.5 * maxBurn;
+            sawPenalized |= penalized;
+            bool wins;
+            if (best == nullptr) {
+                wins = true;
+            } else if (penalized != bestPenalized) {
+                wins = !penalized;
+            } else {
+                wins = c.priority > best->priority ||
+                       (c.priority == best->priority &&
+                        (c.deadlineAtMs < best->deadlineAtMs ||
+                         (c.deadlineAtMs == best->deadlineAtMs &&
+                          c.id < best->id)));
+            }
             if (wins) {
                 best = &c;
+                bestPenalized = penalized;
                 leadIdx = idx;
             }
         }
+        if (sawPenalized && best != nullptr && !bestPenalized)
+            ServingMetrics::get().dispatchPenalties.inc();
     }
     if (leadIdx == n)
         return false;
@@ -340,7 +381,7 @@ ServingEngine::popBatch(std::vector<Job> &out)
                 obs::FlightRecorder::global().record(
                     obs::ServingEventKind::kCoalesce, it->id,
                     it->req.tenant, fp,
-                    uint32_t(out.size() + 1));
+                    uint32_t(out.size() + 1), it->traceId);
                 out.push_back(std::move(*it));
                 it = q.erase(it);
             } else {
@@ -396,6 +437,7 @@ ServingEngine::runBatch(std::vector<Job> &batch)
             results[i].exec = std::move(execs[i]);
             results[i].queueMs = startMs - batch[i].submitMs;
             results[i].serviceMs = endMs - startMs;
+            results[i].traceId = batch[i].traceId;
         }
     } catch (...) {
         failed = true;
@@ -411,7 +453,7 @@ ServingEngine::runBatch(std::vector<Job> &batch)
         for (const Job &j : batch) {
             rec.record(obs::ServingEventKind::kFail, j.id,
                        j.req.tenant, j.programFp,
-                       uint32_t(batch.size()));
+                       uint32_t(batch.size()), j.traceId);
             // A failed job attained nothing: an infinite latency
             // misses any finite deadline in the SLO window.
             slo_.recordJob(j.req.tenant,
@@ -427,7 +469,7 @@ ServingEngine::runBatch(std::vector<Job> &batch)
             sm.serviceMs.observe(r.serviceMs);
             rec.record(obs::ServingEventKind::kComplete, r.jobId,
                        r.tenant, batch.front().programFp,
-                       uint32_t(batch.size()));
+                       uint32_t(batch.size()), r.traceId);
             slo_.recordJob(r.tenant, r.queueMs + r.serviceMs,
                            policyFor(r.tenant).deadlineMs);
         }

@@ -271,6 +271,12 @@ struct JobResult
     ExecutionResult exec; //!< exec.batchSize tells how the job ran
     double queueMs = 0;   //!< submit -> worker pickup
     double serviceMs = 0; //!< pickup -> completion (includes prepare)
+
+    /** Correlation id allocated at submit (obs/tracectx.h): the same
+     *  id stamps this job's flight-recorder lifecycle events, its
+     *  executor trace spans, and its ExecutionProfile::traceIds entry,
+     *  so one slow job can be followed across all three. */
+    uint64_t traceId = 0;
 };
 
 /**
@@ -358,6 +364,7 @@ class ServingEngine
         uint64_t programFp = 0;  //!< coalescing key
         int priority = 0;        //!< tenant class, frozen at submit
         double deadlineAtMs = 0; //!< submitMs + class deadline
+        uint64_t traceId = 0;    //!< correlation id (tracectx.h)
     };
 
     void start();

@@ -7,7 +7,10 @@
  * sets, the embedded HTTP exporter end-to-end over real sockets,
  * per-tenant SLO window math and its registry gauges, burn-rate-driven
  * admission shedding (standalone and through a live ServingEngine),
- * and the flight recorder's causal post-mortem of a failed job.
+ * burn-rate dispatch penalties (the scheduling tier below shedding),
+ * the flight recorder's causal post-mortem of a failed job and its
+ * trace-id round-trip, and the /calibration.json + /tracez?ms=N
+ * live-introspection endpoints.
  */
 #include <gtest/gtest.h>
 
@@ -541,6 +544,160 @@ TEST(MetricsExporterTest, HandleRoutesWithoutSockets)
     EXPECT_TRUE(contains(r.contentType, "0.0.4"));
     EXPECT_EQ(exporter.handle("/tenants.json").body, "{}");
     EXPECT_EQ(exporter.handle("/missing").status, 404);
+}
+
+//
+// Calibration + live-capture endpoints (the observatory surface).
+//
+
+TEST(MetricsExporterTest, ServesCalibrationAndTracez)
+{
+    obs::ScheduleCalibration::global().reset();
+    obs::ScheduleCalibration::global().record(1, "endpoint_kind", 10,
+                                              30);
+    obs::ScheduleCalibration::global().record(1, "endpoint_kind", 20,
+                                              60);
+
+    obs::MetricsExporter exporter;
+    ASSERT_NE(exporter.port(), 0);
+
+    std::string body;
+    std::string why;
+    EXPECT_EQ(
+        obs::httpGet(exporter.port(), "/calibration.json", &body),
+        200);
+    EXPECT_TRUE(isValidJson(body, &why)) << why;
+    EXPECT_TRUE(contains(body, "\"endpoint_kind\""));
+    EXPECT_TRUE(contains(body, "\"slope_ns_per_cycle\""));
+    EXPECT_TRUE(contains(body, "\"mae_ns\""));
+
+    // The same fit reaches Prometheus under a per-op label.
+    EXPECT_EQ(obs::httpGet(exporter.port(), "/metrics", &body), 200);
+    EXPECT_TRUE(contains(
+        body, "f1_calib_samples{op=\"endpoint_kind\"} 2"));
+
+    // /tracez over a real socket: a short live-capture window.
+    EXPECT_EQ(obs::httpGet(exporter.port(), "/tracez?ms=2", &body),
+              200);
+    EXPECT_TRUE(isValidJson(body, &why)) << why;
+    EXPECT_TRUE(contains(body, "\"window_ms\": 2"));
+    EXPECT_TRUE(contains(body, "\"traceEvents\""));
+
+    // Query routing via the socket-free core: an unparsable ms falls
+    // back to the 50ms default rather than erroring, and oversized
+    // windows clamp to 2000ms — /tracez is a debugging tool, not an
+    // API.
+    auto r = exporter.handle("/tracez?ms=abc");
+    EXPECT_EQ(r.status, 200);
+    EXPECT_TRUE(contains(r.body, "\"window_ms\": 50"));
+    EXPECT_TRUE(contains(exporter.handle("/tracez?ms=3000").body,
+                         "\"window_ms\": 2000"));
+    exporter.stop();
+    obs::ScheduleCalibration::global().reset();
+}
+
+TEST(FlightRecorderTest, TraceIdRoundTripsThroughDumpAndJson)
+{
+    obs::FlightRecorder rec(8);
+    rec.record(obs::ServingEventKind::kAdmit, 5, "tid_tenant", 9, 1,
+               0xabcdef0012345678ULL);
+    auto evs = rec.dump();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].traceId, 0xabcdef0012345678ULL);
+    EXPECT_EQ(evs[0].jobId, 5u);
+    EXPECT_EQ(evs[0].tenant, "tid_tenant");
+
+    std::string why;
+    const std::string json = rec.dumpJson();
+    EXPECT_TRUE(isValidJson(json, &why)) << why;
+    EXPECT_TRUE(
+        contains(json, "\"trace_id\": \"0xabcdef0012345678\""));
+
+    // Pre-correlation callers (default argument) stay untraced.
+    rec.record(obs::ServingEventKind::kSubmit, 6, "t");
+    EXPECT_EQ(rec.dump().back().traceId, 0u);
+}
+
+//
+// Burn-rate dispatch penalty: a tenant deep into its error budget
+// loses the dispatch head to clean tenants BEFORE admission sheds it.
+//
+
+TEST(ServingEngineSloTest, BurnRatePenaltyDeprioritizesDispatch)
+{
+    auto &reg = obs::MetricsRegistry::global();
+    reg.reset();
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = chainProgram();
+
+    ServingConfig cfg;
+    cfg.workers = 1;
+    cfg.maxBatch = 1; // no coalescing: dispatch order is visible
+    // Penalty starts at half the shed threshold. An always-missed
+    // deadline burns at 1/(1-0.99) = 100x, so with the threshold at
+    // 150 the tenant is penalized (>= 75) but never shed (< 150).
+    cfg.admission.maxBurnRate = 150.0;
+    cfg.slo.windowSize = 8;
+    cfg.slo.targetAttainment = 0.99;
+    TenantPolicy hot;
+    hot.priority = 10; // outranks everyone -- except via its burn
+    hot.deadlineMs = 1e-6;
+    cfg.tenantPolicies["pen_hot"] = hot;
+    ServingEngine engine(&bgv, cfg);
+
+    auto makeReq = [&](const std::string &tenant, uint64_t seed) {
+        JobRequest req;
+        req.program = &p;
+        req.tenant = tenant;
+        req.inputs.seed = seed;
+        return req;
+    };
+
+    // Prime the hot tenant's burn rate with one guaranteed miss.
+    engine.submit(makeReq("pen_hot", 1)).get();
+    EXPECT_GE(reg.snapshot().counters.at("slo.pen_hot.burn_rate"),
+              75000u); // milli-units
+
+    // Occupy the single worker, then queue cold and hot jobs behind
+    // it so dispatch has to choose between the two tenants.
+    auto blocker = engine.submit(makeReq("pen_block", 2));
+    std::vector<std::future<JobResult>> futs;
+    for (uint64_t i = 0; i < 3; ++i)
+        futs.push_back(engine.submit(makeReq("pen_cold", 10 + i)));
+    for (uint64_t i = 0; i < 3; ++i)
+        futs.push_back(engine.submit(makeReq("pen_hot", 20 + i)));
+    blocker.get();
+    for (auto &f : futs)
+        f.get(); // penalty deprioritizes; it never starves
+
+    // The first post-blocker completion is a COLD job despite the hot
+    // tenant's higher class priority, and the penalty counter says
+    // why.
+    auto events = obs::FlightRecorder::global().dump();
+    uint64_t blockerDone = 0;
+    for (const auto &e : events)
+        if (e.kind == obs::ServingEventKind::kComplete &&
+            e.tenant == "pen_block")
+            blockerDone = e.seq;
+    ASSERT_NE(blockerDone, 0u);
+    std::string firstTenant;
+    uint64_t firstSeq = ~0ULL;
+    for (const auto &e : events) {
+        if (e.kind != obs::ServingEventKind::kComplete ||
+            e.seq <= blockerDone)
+            continue;
+        if ((e.tenant == "pen_hot" || e.tenant == "pen_cold") &&
+            e.seq < firstSeq) {
+            firstSeq = e.seq;
+            firstTenant = e.tenant;
+        }
+    }
+    EXPECT_EQ(firstTenant, "pen_cold");
+    EXPECT_GE(
+        reg.snapshot().counters.at("serving.dispatch_penalties"), 1u);
+    EXPECT_EQ(engine.stats().shed, 0u); // penalized, never shed
+    reg.reset();
 }
 
 } // namespace

@@ -5,15 +5,22 @@
  * thread counts, the scratch/cache shims over the registry, per-op
  * trace export (valid JSON, span count == executed ops, per-lane
  * nesting, predicted-vs-actual start cycles), per-job execution
- * profiles, and the telemetry-off contract (no artifacts produced).
+ * profiles, the telemetry-off contract (no artifacts produced),
+ * end-to-end trace-id correlation (serving lifecycle -> executor
+ * spans -> profile, with Perfetto flow events), the schedule-
+ * calibration accumulator, the dropped-telemetry metrics, and a
+ * concurrent scrape-under-load stress.
  *
  * This suite runs under TSan in CI alongside test_parallel and
- * test_runtime: the registry, collector, and tracer hot paths are all
- * concurrent by design.
+ * test_runtime: the registry, collector, tracer, live-capture ring,
+ * and exporter read paths are all concurrent by design.
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,9 +29,13 @@
 #include "common/scratch.h"
 #include "compiler/compiler.h"
 #include "json_lint.h"
+#include "obs/calib.h"
+#include "obs/eventlog.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "obs/tracectx.h"
 #include "runtime/op_graph_executor.h"
 #include "runtime/serving.h"
 
@@ -477,6 +488,368 @@ TEST(TelemetryTest, ServingAttachesTenantLabeledProfiles)
     EXPECT_GE(snap.counters.at("serving.jobs_completed"), 1u);
     ASSERT_TRUE(snap.histograms.count("serving.service_ms"));
     EXPECT_GE(snap.histograms.at("serving.service_ms").count, 1u);
+}
+
+//
+// Correlated tracing (trace ids, flow events, live capture).
+//
+
+TEST(TraceIdTest, AllocationsAreUniqueAndNonZero)
+{
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 2000;
+    std::vector<std::vector<uint64_t>> got(kThreads);
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&got, t] {
+            got[size_t(t)].reserve(kPerThread);
+            for (int i = 0; i < kPerThread; ++i)
+                got[size_t(t)].push_back(obs::allocateTraceId());
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    std::set<uint64_t> all;
+    for (const auto &v : got) {
+        for (uint64_t id : v) {
+            EXPECT_NE(id, 0u);
+            all.insert(id);
+        }
+    }
+    // Mixed-counter ids: no collisions even across threads.
+    EXPECT_EQ(all.size(), size_t(kThreads) * kPerThread);
+}
+
+TEST(TraceIdTest, SpanCarriesTraceIdIntoJson)
+{
+    obs::Tracer tracer(/*laneCapacity=*/16, "tid");
+    tracer.span("mul", 3, 100, 50, 7, 0x00c0ffee12345678ULL);
+    tracer.span("add", 4, 200, 10, -1); // default arg: untraced
+    obs::Trace trace = tracer.finish();
+    ASSERT_EQ(trace.events().size(), 2u);
+    EXPECT_EQ(trace.events()[0].traceId, 0x00c0ffee12345678ULL);
+    EXPECT_EQ(trace.events()[1].traceId, 0u);
+
+    const std::string json = trace.json();
+    std::string why;
+    EXPECT_TRUE(isValidJson(json, &why)) << why;
+    // Hex-string ids survive JSON round-trips at full 64-bit width.
+    EXPECT_NE(json.find("\"trace_id\": \"0x00c0ffee12345678\""),
+              std::string::npos);
+}
+
+TEST(CorrelationTest, ServingCorrelationEndToEnd)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    const ScheduleHints hints = compileProgram(p, F1Config{}).hints;
+
+    ServingConfig cfg;
+    cfg.workers = 2;
+    cfg.maxBatch = 4;
+    cfg.policy.telemetry.profile = true;
+    cfg.policy.telemetry.trace = true;
+    ServingEngine engine(&bgv, cfg);
+
+    std::vector<std::future<JobResult>> futs;
+    for (int i = 0; i < 6; ++i) {
+        JobRequest req;
+        req.program = &p;
+        req.tenant = i % 2 ? "corr-a" : "corr-b";
+        req.inputs.seed = 100 + uint64_t(i);
+        req.hints = &hints;
+        futs.push_back(engine.submit(std::move(req)));
+    }
+    std::vector<JobResult> results;
+    for (auto &f : futs)
+        results.push_back(f.get());
+
+    const std::vector<obs::ServingEvent> events =
+        obs::FlightRecorder::global().dump();
+
+    // Every completed job's trace id threads through all three
+    // telemetry systems (the PR's acceptance bar).
+    std::vector<std::shared_ptr<const obs::Trace>> traces;
+    std::set<uint64_t> ids;
+    for (const JobResult &r : results) {
+        ASSERT_NE(r.traceId, 0u);
+        ids.insert(r.traceId);
+
+        size_t lifecycle = 0;
+        for (const obs::ServingEvent &ev : events)
+            if (ev.traceId == r.traceId)
+                ++lifecycle;
+        // At minimum submit, admit, and complete.
+        EXPECT_GE(lifecycle, 3u) << "job " << r.jobId;
+
+        ASSERT_NE(r.exec.trace, nullptr);
+        size_t spans = 0;
+        for (const obs::TraceEvent &ev : r.exec.trace->events())
+            if (ev.kind == obs::TraceEventKind::kOpSpan &&
+                ev.traceId == r.traceId)
+                ++spans;
+        EXPECT_GT(spans, 0u) << "job " << r.jobId;
+
+        ASSERT_NE(r.exec.profile, nullptr);
+        bool inProfile = false;
+        for (uint64_t id : r.exec.profile->traceIds)
+            inProfile |= id == r.traceId;
+        EXPECT_TRUE(inProfile) << "job " << r.jobId;
+
+        // Coalesced members share one trace; dedupe by identity.
+        bool seen = false;
+        for (const auto &t : traces)
+            seen |= t == r.exec.trace;
+        if (!seen)
+            traces.push_back(r.exec.trace);
+    }
+    EXPECT_EQ(ids.size(), results.size()); // pairwise distinct
+
+    // The correlated document links every one of this test's jobs
+    // from its lifecycle chain into its first executor span.
+    std::ostringstream os;
+    EXPECT_EQ(obs::writeCorrelatedTrace(os, traces, events),
+              ids.size());
+    const std::string json = os.str();
+    std::string why;
+    ASSERT_TRUE(isValidJson(json, &why)) << why;
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+    EXPECT_EQ(json, obs::correlatedTraceJson(traces, events));
+}
+
+TEST(CorrelationTest, LiveCaptureRecordsWhileArmed)
+{
+    obs::LiveTraceCapture cap(/*capacity=*/64);
+    EXPECT_FALSE(cap.armed());
+    cap.record(100, 10, "mul", 1, 7, -1); // disarmed: executor
+                                          // wouldn't call, but the
+                                          // ring still accepts
+    cap.arm();
+    ASSERT_TRUE(cap.armed());
+    const int64_t t0 = 1000;
+    for (int i = 0; i < 8; ++i)
+        cap.record(t0 + i * 10, 5, "add", i, uint64_t(i + 1), i);
+    cap.disarm();
+    EXPECT_FALSE(cap.armed());
+
+    auto spans = cap.spansSince(t0);
+    ASSERT_EQ(spans.size(), 8u);
+    for (size_t i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].tsNs, t0 + int64_t(i) * 10);
+        EXPECT_EQ(spans[i].handle, int32_t(i));
+        EXPECT_EQ(spans[i].traceId, uint64_t(i + 1));
+        EXPECT_EQ(spans[i].predictedCycle, int64_t(i));
+        EXPECT_STREQ(spans[i].name, "add");
+    }
+    // The pre-window record is filtered by timestamp.
+    EXPECT_EQ(cap.spansSince(0).size(), 9u);
+}
+
+//
+// Schedule calibration.
+//
+
+TEST(CalibrationTest, RecoversSyntheticLinearFit)
+{
+    obs::ScheduleCalibration calib;
+    // y = 3x + 500, exactly.
+    for (int i = 0; i < 200; ++i)
+        calib.record(2, "unit_kind", uint64_t(i),
+                     int64_t(3 * i + 500));
+
+    auto fits = calib.snapshot();
+    ASSERT_EQ(fits.size(), 1u);
+    EXPECT_EQ(fits[0].name, "unit_kind");
+    EXPECT_EQ(fits[0].samples, 200u);
+    EXPECT_NEAR(fits[0].slopeNsPerCycle, 3.0, 1e-6);
+    EXPECT_NEAR(fits[0].interceptNs, 500.0, 1e-6);
+    EXPECT_NEAR(fits[0].maeNs, 0.0, 1e-6);
+    EXPECT_EQ(fits[0].retained, 200u);
+
+    // The gauge mirrors publish into the registry (slope in milli).
+    auto snap = obs::MetricsRegistry::global().snapshot();
+    EXPECT_EQ(snap.counters.at("calib.unit_kind.samples"), 200u);
+    EXPECT_EQ(snap.counters.at("calib.unit_kind.slope_milli"), 3000u);
+    EXPECT_EQ(snap.counters.at("calib.unit_kind.intercept_ns"), 500u);
+
+    // Out-of-range kinds and null names are ignored, never fatal.
+    calib.record(obs::ScheduleCalibration::kMaxKinds, "over", 1, 1);
+    calib.record(3, nullptr, 1, 1);
+    EXPECT_EQ(calib.snapshot().size(), 1u);
+
+    std::string why;
+    const std::string json = calib.toJson();
+    EXPECT_TRUE(isValidJson(json, &why)) << why;
+    EXPECT_NE(json.find("\"slope_ns_per_cycle\""), std::string::npos);
+
+    calib.reset();
+    EXPECT_TRUE(calib.snapshot().empty());
+}
+
+TEST(CalibrationTest, ExecutorFeedsGlobalAccumulator)
+{
+    obs::ScheduleCalibration::global().reset();
+
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    const ScheduleHints hints = compileProgram(p, F1Config{}).hints;
+    OpGraphExecutor exec(p, &bgv);
+    RuntimeInputs in;
+    in.seed = 41;
+
+    ExecutionPolicy pol;
+    pol.scheduleHints = &hints;
+    pol.telemetry.trace = true;
+    for (int i = 0; i < 3; ++i)
+        exec.execute(in, pol);
+
+    // The diamond exercises 7 traced op kinds (mul, rotate,
+    // mul_plain, add, sub, mod_switch, output) — over the >= 5 the
+    // observatory is specified to fit.
+    auto fits = obs::ScheduleCalibration::global().snapshot();
+    EXPECT_EQ(fits.size(), 7u);
+    EXPECT_GE(fits.size(), 5u);
+    std::set<std::string> names;
+    uint64_t total = 0;
+    for (const auto &f : fits) {
+        names.insert(f.name);
+        total += f.samples;
+        EXPECT_EQ(f.retained,
+                  std::min<size_t>(
+                      f.samples, obs::ScheduleCalibration::kRingCap));
+    }
+    EXPECT_EQ(names.size(), fits.size());
+    // Solo runs: every executed op records one pair.
+    EXPECT_EQ(total, 3 * nonSourceOps(p));
+
+    std::string why;
+    EXPECT_TRUE(isValidJson(
+        obs::ScheduleCalibration::global().toJson(), &why))
+        << why;
+}
+
+//
+// Dropped-telemetry metrics (the observability of the observability).
+//
+
+TEST(DroppedMetricsTest, TraceRingDropCountsReachTheRegistry)
+{
+    obs::Counter &c =
+        obs::MetricsRegistry::global().counter("trace.dropped_events");
+    const uint64_t before = c.value();
+    obs::Tracer tracer(/*laneCapacity=*/16, "drops");
+    for (int i = 0; i < 20; ++i)
+        tracer.span("op", i, i * 100, 50, -1);
+    obs::Trace trace = tracer.finish();
+    EXPECT_EQ(trace.droppedEvents(), 4u);
+    EXPECT_EQ(c.value(), before + 4);
+}
+
+TEST(DroppedMetricsTest, EventlogDroppedGaugeCountsWraparound)
+{
+    auto gaugeVal = [] {
+        auto s = obs::MetricsRegistry::global().snapshot();
+        auto it = s.counters.find("eventlog.dropped");
+        return it == s.counters.end() ? uint64_t(0) : it->second;
+    };
+    obs::FlightRecorder rec(/*capacity=*/8);
+    const uint64_t before = gaugeVal();
+    for (int i = 0; i < 13; ++i)
+        rec.record(obs::ServingEventKind::kSubmit, uint64_t(i + 1),
+                   "t");
+    // 13 events into 8 slots: the 5 oldest are overwritten, and the
+    // recorder's gauge (summed with the global recorder's) says so.
+    EXPECT_EQ(gaugeVal(), before + 5);
+    auto evs = rec.dump();
+    ASSERT_EQ(evs.size(), 8u);
+    EXPECT_EQ(evs.front().seq, 6u);
+}
+
+//
+// Concurrent scrape-under-load stress (TSan target): exporter reads
+// hammering /metrics, /tracez, and /calibration.json while batched
+// serving runs — and job outputs stay bit-identical to solo runs.
+//
+
+std::vector<uint32_t>
+ctWords(const Ciphertext &ct)
+{
+    std::vector<uint32_t> out;
+    for (const auto &poly : ct.polys)
+        out.insert(out.end(), poly.raw().begin(), poly.raw().end());
+    return out;
+}
+
+TEST(CorrelationTest, ConcurrentScrapeStress)
+{
+    FheContext ctx(smallParams());
+    BgvScheme bgv(&ctx);
+    Program p = diamondProgram();
+    const ScheduleHints hints = compileProgram(p, F1Config{}).hints;
+
+    // Reference bits from an isolated, exporter-free execution.
+    OpGraphExecutor ref(p, &bgv);
+    RuntimeInputs in;
+    in.seed = 77;
+    const ExecutionResult refRes = ref.execute(in, {});
+
+    ServingConfig cfg;
+    cfg.workers = 2;
+    cfg.maxBatch = 4;
+    cfg.policy.telemetry.trace = true;
+    cfg.policy.scheduleHints = &hints;
+    ServingEngine engine(&bgv, cfg);
+
+    obs::MetricsExporter exporter; // default sources, ephemeral port
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> bad{0};
+    auto scraper = [&](const char *path, bool wantJson) {
+        while (!stop.load(std::memory_order_relaxed)) {
+            auto resp = exporter.handle(path);
+            if (resp.status != 200) {
+                bad.fetch_add(1);
+                continue;
+            }
+            if (wantJson && !isValidJson(resp.body))
+                bad.fetch_add(1);
+        }
+    };
+    std::vector<std::thread> scrapers;
+    scrapers.emplace_back(scraper, "/metrics", false);
+    scrapers.emplace_back(scraper, "/tracez?ms=5", true);
+    scrapers.emplace_back(scraper, "/calibration.json", true);
+
+    std::vector<std::future<JobResult>> futs;
+    for (int i = 0; i < 12; ++i) {
+        JobRequest req;
+        req.program = &p;
+        req.tenant = "stress";
+        req.inputs.seed = 77;
+        req.hints = &hints;
+        futs.push_back(engine.submit(std::move(req)));
+    }
+    for (auto &f : futs) {
+        JobResult r = f.get();
+        // Live capture and concurrent scrapes never perturb outputs.
+        ASSERT_EQ(r.exec.outputs.size(), refRes.outputs.size());
+        for (const auto &[h, ct] : refRes.outputs) {
+            auto it = r.exec.outputs.find(h);
+            ASSERT_NE(it, r.exec.outputs.end());
+            EXPECT_EQ(ctWords(ct), ctWords(it->second))
+                << "output " << h << " diverged under scrape load";
+        }
+    }
+    stop.store(true);
+    for (auto &t : scrapers)
+        t.join();
+    EXPECT_EQ(bad.load(), 0);
+    exporter.stop();
 }
 
 //
